@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures, supporting its central
+ * claim): how much does the *multidimensional* decoupling matter?
+ *
+ *  - "L3-only" restricts the model to the single memory-pressure
+ *    dimension — the Bubble-Up-style monotonic metric the paper
+ *    argues is insufficient for SMT.
+ *  - "FU-only" keeps the four functional-unit dimensions.
+ *  - "mem-only" keeps the three cache dimensions.
+ *  - "full" is SMiTe's seven-dimension model.
+ *  - "no-c0" drops the constant term of Equation 3.
+ */
+
+#include <cmath>
+
+#include "bench/common.h"
+#include "stats/regression.h"
+
+using namespace smite;
+
+namespace {
+
+/** Fit Eq. 3 on a subset of dimensions and report test error. */
+double
+subsetError(core::Lab &lab, const std::vector<int> &dims,
+            bool with_intercept)
+{
+    const auto mode = core::CoLocationMode::kSmt;
+    const auto train = workload::spec2006::evenNumbered();
+    const auto test = workload::spec2006::oddNumbered();
+
+    auto features = [&](const workload::WorkloadProfile &a,
+                        const workload::WorkloadProfile &b) {
+        const auto &ca = lab.characterization(a, mode);
+        const auto &cb = lab.characterization(b, mode);
+        std::vector<double> x;
+        for (int d : dims)
+            x.push_back(ca.sensitivity[d] * cb.contentiousness[d]);
+        if (!with_intercept)
+            x.push_back(0.0);  // placeholder keeps shapes aligned
+        return x;
+    };
+
+    std::vector<std::vector<double>> x_train;
+    std::vector<double> y_train;
+    for (const auto &a : train) {
+        for (const auto &b : train) {
+            if (a.name == b.name)
+                continue;
+            x_train.push_back(features(a, b));
+            y_train.push_back(lab.pairDegradation(a, b, mode));
+        }
+    }
+    // Note: when with_intercept is false we emulate it by forcing the
+    // intercept toward zero with a huge ridge on a dummy column; the
+    // simpler route is to subtract nothing and fit through origin via
+    // a plain least-squares on the features only.
+    const stats::LinearModel model =
+        stats::LinearModel::fit(x_train, y_train, 1e-8);
+
+    double err = 0;
+    int n = 0;
+    for (const auto &a : test) {
+        for (const auto &b : test) {
+            if (a.name == b.name)
+                continue;
+            const double actual = lab.pairDegradation(a, b, mode);
+            double predicted = model.predict(features(a, b));
+            if (!with_intercept)
+                predicted -= model.intercept();
+            err += std::abs(predicted - actual);
+            ++n;
+        }
+    }
+    return err / n;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "Prediction error vs modeled dimension subsets "
+                  "(SPEC, SMT co-location)");
+
+    core::Lab lab = bench::makeLab(sim::MachineConfig::ivyBridge());
+
+    struct Case {
+        const char *name;
+        std::vector<int> dims;
+        bool intercept;
+    };
+    const std::vector<Case> cases = {
+        {"L3-only (Bubble-Up-like)", {6}, true},
+        {"FU-only (4 dims)", {0, 1, 2, 3}, true},
+        {"mem-only (3 dims)", {4, 5, 6}, true},
+        {"full SMiTe (7 dims)", {0, 1, 2, 3, 4, 5, 6}, true},
+        {"full, no c0", {0, 1, 2, 3, 4, 5, 6}, false},
+    };
+
+    std::printf("%-28s %16s\n", "model", "avg test error");
+    for (const Case &c : cases) {
+        std::printf("%-28s %15.2f%%\n", c.name,
+                    100 * subsetError(lab, c.dims, c.intercept));
+    }
+
+    bench::paperReference(
+        "a single monotonic metric (Bubble-Up) fails to capture the "
+        "multidimensionality of SMT resource sharing; decoupled "
+        "dimensions are required (Section I / Finding 9)");
+    return 0;
+}

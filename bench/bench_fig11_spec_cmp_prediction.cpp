@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 11: performance prediction accuracy for CMP co-location on
+ * SPEC CPU2006 (the two applications on different cores, sharing
+ * only L3 and memory bandwidth).
+ */
+
+#include "bench/common.h"
+
+using namespace smite;
+
+int
+main()
+{
+    bench::banner("Figure 11",
+                  "CMP co-location prediction accuracy on SPEC "
+                  "CPU2006 (SMiTe vs PMU baseline)");
+    core::Lab lab = bench::makeLab(sim::MachineConfig::ivyBridge());
+    bench::runSpecPredictionExperiment(lab, core::CoLocationMode::kCmp,
+                                       2.80, 9.43);
+    bench::paperReference(
+        "PMU model averages 9.43% error on CMP co-locations, SMiTe "
+        "2.80%");
+    return 0;
+}

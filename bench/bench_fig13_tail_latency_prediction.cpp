@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 13: 90th-percentile latency prediction for Web-Search and
+ * Data-Caching co-located with SPEC batch applications (the other
+ * two CloudSuite applications do not report percentile statistics).
+ *
+ * Measured tail latency: an FCFS queueing simulation whose service
+ * rate is degraded by the *measured* co-location degradation.
+ * Predicted: Equation 6 applied to the SMiTe-predicted degradation.
+ */
+
+#include "bench/common.h"
+
+using namespace smite;
+
+int
+main()
+{
+    bench::banner("Figure 13",
+                  "90th-percentile latency prediction under SMT "
+                  "co-location (Sandy Bridge-EN)");
+
+    core::Lab lab = bench::makeLab(sim::MachineConfig::sandyBridgeEN());
+    const auto mode = core::CoLocationMode::kSmt;
+    const int threads = 6;
+    const auto train = workload::spec2006::oddNumbered();
+    const auto test = workload::spec2006::evenNumbered();
+    const core::SmiteModel model = lab.trainSmite(train, mode);
+
+    for (const auto &cloud : workload::cloudsuite::all()) {
+        if (!cloud.reportsPercentile)
+            continue;
+        const core::TailLatencyPredictor predictor(cloud);
+        const double solo_p90 = predictor.soloPercentile(0.90);
+        const auto &cloud_char =
+            lab.characterization(cloud, mode, threads);
+
+        std::printf("\n%s: solo p90 = %.3f ms "
+                    "(lambda %.0f/s, mu %.0f/s)\n", cloud.name.c_str(),
+                    1e3 * solo_p90, cloud.arrivalRate,
+                    cloud.serviceRate);
+        std::printf("%-16s %10s %12s %12s %8s\n", "batch app",
+                    "meas deg", "meas p90", "pred p90", "err");
+
+        double err_sum = 0;
+        int n = 0;
+        // Two batch instances: the operating point tail-QoS targets
+        // actually admit (deeper co-locations drive the queue toward
+        // instability, where percentiles diverge).
+        const int instances = 2;
+        for (const auto &batch : test) {
+            const double actual = lab.multiInstanceDegradation(
+                cloud, threads, batch, instances, mode);
+            const double predicted_deg = core::Lab::scaleToInstances(
+                model.predict(cloud_char,
+                              lab.characterization(batch, mode)),
+                instances, threads);
+            const double measured_p90 = predictor.measurePercentile(
+                0.90, std::min(std::max(actual, 0.0), 0.95));
+            const double predicted_p90 =
+                predictor.predictPercentile(0.90, predicted_deg);
+            const double err =
+                std::abs(predicted_p90 - measured_p90) / measured_p90;
+            std::printf("%-16s %9.1f%% %10.3fms %10.3fms %7.2f%%\n",
+                        batch.name.c_str(), 100 * actual,
+                        1e3 * measured_p90, 1e3 * predicted_p90,
+                        100 * err);
+            err_sum += err;
+            ++n;
+        }
+        std::printf("%-16s average absolute p90 prediction error: "
+                    "%.2f%%\n", cloud.name.c_str(), 100 * err_sum / n);
+    }
+
+    bench::paperReference(
+        "average absolute prediction error 4.61% for Web-Search and "
+        "6.17% for Data-Caching; the queueing model captures the "
+        "correlation between degradation and tail latency");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 15: QoS violations under the SMiTe policy vs an
+ * interference-oblivious Random policy that achieves the same
+ * utilization gain (average-performance QoS).
+ */
+
+#include "bench/scaleout.h"
+
+using namespace smite;
+
+int
+main()
+{
+    bench::banner("Figure 15",
+                  "QoS violations: SMiTe vs Random at matched "
+                  "utilization (average-performance QoS)");
+
+    core::Lab lab = bench::makeLab(sim::MachineConfig::sandyBridgeEN());
+    const auto mode = core::CoLocationMode::kSmt;
+    const core::SmiteModel model =
+        lab.trainSmite(workload::spec2006::oddNumbered(), mode);
+    const auto pairings = bench::buildAvgPerfPairings(
+        lab, model, workload::cloudsuite::all(),
+        workload::spec2006::evenNumbered());
+    const scheduler::Cluster cluster(pairings,
+                                     bench::namesOf(
+                                         workload::cloudsuite::all()),
+                                     bench::kServersPerApp);
+
+    std::printf("%-10s %14s %14s %14s %14s\n", "QoS target",
+                "SMiTe viol%", "Random viol%", "SMiTe max mag",
+                "Random max mag");
+    double reduction_sum = 0;
+    int reduction_n = 0;
+    for (double target : {0.95, 0.90, 0.85}) {
+        const auto smite = cluster.runPredictedPolicy(target);
+        const auto random = cluster.runRandomPolicy(
+            target, smite.totalInstances);
+        std::printf("%9.0f%% %13.2f%% %13.2f%% %13.2f%% %13.2f%%\n",
+                    100 * target, 100 * smite.violationRate(),
+                    100 * random.violationRate(),
+                    100 * smite.maxViolation,
+                    100 * random.maxViolation);
+        if (random.violationRate() > 0) {
+            reduction_sum += 1.0 - smite.violationRate() /
+                                       random.violationRate();
+            ++reduction_n;
+        }
+    }
+    if (reduction_n > 0) {
+        std::printf("\naverage violation reduction vs Random: %.2f%%\n",
+                    100 * reduction_sum / reduction_n);
+    }
+
+    bench::paperReference(
+        "Random suffers up to 26% QoS violations at matched "
+        "utilization; SMiTe's worst violation is 1.67%, a 78.57% "
+        "average reduction");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the simulation substrate:
+ * machine throughput, cache/TLB lookup costs, trace generation and
+ * model fitting. These guard the performance of the experiment
+ * harnesses rather than reproducing a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/smite.h"
+
+using namespace smite;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    sim::SetAssocCache cache(
+        sim::CacheConfig{"L2", 256 * 1024, 8, 12});
+    std::uint64_t line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(line, false));
+        line = (line * 2654435761u + 1) % 8192;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    sim::Tlb tlb(sim::TlbConfig{512, 30});
+    std::uint64_t page = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.access(page));
+        page = (page * 48271 + 1) % 1024;
+    }
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workload::ProfileUopSource source(
+        workload::spec2006::byName("403.gcc"));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(source.next());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_MachineSoloCycles(benchmark::State &state)
+{
+    const sim::Machine machine(sim::MachineConfig::ivyBridge());
+    workload::ProfileUopSource source(
+        workload::spec2006::byName("456.hmmer"));
+    const sim::Cycle cycles = state.range(0);
+    for (auto _ : state) {
+        source.reset();
+        benchmark::DoNotOptimize(
+            machine.runSolo(source, 0, cycles));
+    }
+    state.SetItemsProcessed(state.iterations() * cycles);
+}
+BENCHMARK(BM_MachineSoloCycles)->Arg(10000)->Arg(50000);
+
+void
+BM_MachinePairSmtCycles(benchmark::State &state)
+{
+    const sim::Machine machine(sim::MachineConfig::ivyBridge());
+    workload::ProfileUopSource a(
+        workload::spec2006::byName("456.hmmer"));
+    workload::ProfileUopSource b(
+        workload::spec2006::byName("470.lbm"));
+    const sim::Cycle cycles = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            machine.runPairSmt(a, b, 0, cycles));
+    }
+    state.SetItemsProcessed(state.iterations() * cycles);
+}
+BENCHMARK(BM_MachinePairSmtCycles)->Arg(10000)->Arg(50000);
+
+void
+BM_RegressionFit(benchmark::State &state)
+{
+    workload::Rng rng(42);
+    const int dims = 22, samples = 200;
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int s = 0; s < samples; ++s) {
+        std::vector<double> row(dims);
+        for (double &v : row)
+            v = rng.nextDouble();
+        x.push_back(std::move(row));
+        y.push_back(rng.nextDouble());
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            stats::LinearModel::fit(x, y, 1e-6));
+    }
+}
+BENCHMARK(BM_RegressionFit);
+
+void
+BM_QueueSim(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            queueing::simulateMm1(1200, 2000, 20000, 1));
+    }
+}
+BENCHMARK(BM_QueueSim);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table I: machine specifications of the experimental setup.
+ */
+
+#include "bench/common.h"
+
+using namespace smite;
+
+int
+main()
+{
+    bench::banner("Table I",
+                  "Machine specifications of the simulated platforms");
+
+    std::printf("%-32s %-18s %-8s %6s %6s %10s\n", "Processor",
+                "Microarchitecture", "Kernel", "Cores", "SMT",
+                "L3");
+    for (const auto &config : {sim::MachineConfig::sandyBridgeEN(),
+                               sim::MachineConfig::ivyBridge()}) {
+        std::printf("%-32s %-18s %-8s %6d %6d %8lluMB\n",
+                    config.name.c_str(),
+                    config.microarchitecture.c_str(),
+                    config.kernel.c_str(), config.numCores,
+                    config.contextsPerCore,
+                    static_cast<unsigned long long>(
+                        config.l3.sizeBytes >> 20));
+    }
+
+    std::printf("\nCore model shared by both platforms:\n");
+    const sim::CoreConfig core;
+    std::printf("  fetch %d/cycle (shared), issue %d/context, "
+                "%d/core, window %d uops, sched depth %d, %d MSHRs\n",
+                sim::MachineConfig().core.fetchWidth,
+                core.issuePerContext, core.issuePerCore,
+                core.windowSize, core.schedDepth, core.mshrs);
+    const sim::MachineConfig generic;
+    std::printf("  L1I %lluKB/%d-way, L1D %lluKB/%d-way, "
+                "L2 %lluKB/%d-way (private per core)\n",
+                static_cast<unsigned long long>(
+                    generic.l1i.sizeBytes >> 10),
+                generic.l1i.assoc,
+                static_cast<unsigned long long>(
+                    generic.l1d.sizeBytes >> 10),
+                generic.l1d.assoc,
+                static_cast<unsigned long long>(
+                    generic.l2.sizeBytes >> 10),
+                generic.l2.assoc);
+    std::printf("  DRAM: %llu-cycle idle latency, %llu cycles/line "
+                "channel occupancy\n",
+                static_cast<unsigned long long>(
+                    generic.dram.accessLatency),
+                static_cast<unsigned long long>(
+                    generic.dram.occupancyPerLine));
+
+    bench::paperReference(
+        "Intel Xeon E5-2420 @ 1.90GHz (Sandy Bridge-EN, kernel 3.8.0) "
+        "and Intel i7-3770 @ 3.40GHz (Ivy Bridge, kernel 3.8.0)");
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction harnesses.
+ *
+ * Each bench binary regenerates one table or figure of the paper and
+ * prints our measured series next to the values the paper reports.
+ * Expensive co-location measurements are shared between binaries
+ * through the Lab disk cache (one file per machine configuration in
+ * the working directory; delete the files to re-measure).
+ */
+
+#ifndef SMITE_BENCH_COMMON_H
+#define SMITE_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/smite.h"
+
+namespace smite::bench {
+
+/** Cache-file name for a machine configuration. */
+inline std::string
+cacheFileFor(const sim::MachineConfig &config)
+{
+    std::string tag = config.microarchitecture;
+    for (char &c : tag) {
+        if (c == ' ' || c == '-')
+            c = '_';
+    }
+    return "smite_lab_cache_" + tag + ".txt";
+}
+
+/** Build a Lab with the shared disk cache enabled. */
+inline core::Lab
+makeLab(const sim::MachineConfig &config)
+{
+    core::Lab lab(config);
+    lab.enableDiskCache(cacheFileFor(config));
+    return lab;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *what)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("SMiTe reproduction | %s\n", experiment);
+    std::printf("%s\n", what);
+    std::printf("================================================="
+                "=============\n");
+}
+
+/** Print a labelled paper-reference line. */
+inline void
+paperReference(const char *text)
+{
+    std::printf("paper reference: %s\n", text);
+}
+
+/**
+ * The Figures 10/11 protocol: train SMiTe and the PMU baseline on
+ * the even-numbered SPEC benchmarks, evaluate on all ordered pairs
+ * of the odd-numbered ones, and print per-benchmark measured
+ * degradation plus both models' average absolute prediction error.
+ */
+inline void
+runSpecPredictionExperiment(core::Lab &lab, core::CoLocationMode mode,
+                            double paper_smite, double paper_pmu)
+{
+    const auto train = workload::spec2006::evenNumbered();
+    const auto test = workload::spec2006::oddNumbered();
+
+    std::printf("training SMiTe + PMU models on the %zu even-numbered "
+                "benchmarks (%s co-location)...\n", train.size(),
+                core::modeName(mode));
+    const core::SmiteModel smite = lab.trainSmite(train, mode);
+    const core::PmuModel pmu = lab.trainPmu(train, mode);
+
+    std::printf("\nSMiTe coefficients c_i:");
+    for (int d = 0; d < rulers::kNumDimensions; ++d) {
+        std::printf(" %s=%.3f",
+                    rulers::dimensionName(
+                        rulers::kAllDimensions[d]).data(),
+                    smite.coefficients()[d]);
+    }
+    std::printf("  c0=%.4f\n\n", smite.constantTerm());
+
+    std::printf("%-16s %12s %12s %12s\n", "benchmark",
+                "measured deg", "SMiTe err", "PMU err");
+    double total_measured = 0, total_smite = 0, total_pmu = 0;
+    for (const auto &victim : test) {
+        double measured = 0, smite_err = 0, pmu_err = 0;
+        int n = 0;
+        for (const auto &aggressor : test) {
+            if (victim.name == aggressor.name)
+                continue;
+            const double actual =
+                lab.pairDegradation(victim, aggressor, mode);
+            const double p_smite =
+                smite.predict(lab.characterization(victim, mode),
+                              lab.characterization(aggressor, mode));
+            const double p_pmu = pmu.predict(
+                lab.pmuProfile(victim), lab.pmuProfile(aggressor));
+            measured += actual;
+            smite_err += std::abs(p_smite - actual);
+            pmu_err += std::abs(p_pmu - actual);
+            ++n;
+        }
+        measured /= n;
+        smite_err /= n;
+        pmu_err /= n;
+        std::printf("%-16s %11.2f%% %11.2f%% %11.2f%%\n",
+                    victim.name.c_str(), 100 * measured,
+                    100 * smite_err, 100 * pmu_err);
+        total_measured += measured;
+        total_smite += smite_err;
+        total_pmu += pmu_err;
+    }
+    const double n = static_cast<double>(test.size());
+    std::printf("%-16s %11.2f%% %11.2f%% %11.2f%%\n", "AVERAGE",
+                100 * total_measured / n, 100 * total_smite / n,
+                100 * total_pmu / n);
+    std::printf("\npaper: SMiTe %.2f%% vs PMU %.2f%% average error\n",
+                paper_smite, paper_pmu);
+}
+
+} // namespace smite::bench
+
+#endif // SMITE_BENCH_COMMON_H

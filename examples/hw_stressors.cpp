@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Real-hardware stressors: runs the paper's Figure 9 kernels on the
+ * host CPU. On a machine with SMT siblings it additionally measures
+ * real sensitivity/contentiousness between two stressors pinned to
+ * the two hardware contexts of one physical core.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/hw_stressors
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "hwrulers/fu_stressors.h"
+#include "hwrulers/mem_stressors.h"
+#include "hwrulers/topology.h"
+
+using namespace smite::hwrulers;
+
+namespace {
+
+constexpr double kSoloSeconds = 0.25;
+constexpr double kPairSeconds = 0.5;
+
+/** Run kind B against kind A on SMT siblings; return A's slowdown. */
+double
+smtDegradation(FuKind victim, FuKind aggressor, int cpu_a, int cpu_b,
+               double solo_ops_per_s)
+{
+    std::atomic<bool> stop{false};
+    StressorResult victim_result;
+
+    std::thread victim_thread([&] {
+        pinToCpu(cpu_a);
+        victim_result = runFuStressor(victim, kPairSeconds, &stop);
+    });
+    std::thread aggressor_thread([&] {
+        pinToCpu(cpu_b);
+        runFuStressor(aggressor, kPairSeconds + 0.2, &stop);
+    });
+    victim_thread.join();
+    stop.store(true);
+    aggressor_thread.join();
+
+    return 1.0 - victim_result.opsPerSecond / solo_ops_per_s;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 9 stressor kernels on this host\n");
+    std::printf("--------------------------------------\n\n");
+
+    // Functional-unit stressors (Figure 9 a-d).
+    double solo[4] = {};
+    const FuKind kinds[] = {FuKind::kFpMul, FuKind::kFpAdd,
+                            FuKind::kFpShf, FuKind::kIntAdd};
+    for (int i = 0; i < 4; ++i) {
+        const auto result = runFuStressor(kinds[i], kSoloSeconds);
+        solo[i] = result.opsPerSecond;
+        std::printf("%-18s %8.2f Gops/s solo\n",
+                    fuKindName(kinds[i]).data(),
+                    result.opsPerSecond / 1e9);
+    }
+
+    // Memory stressors (Figure 9 e-f) across working-set sizes.
+    std::printf("\n%-22s %14s\n", "memory stressor", "updates/s");
+    for (std::size_t kb : {16, 32, 256, 2048, 16384}) {
+        const auto result =
+            runMemRandomStressor(kb * 1024, kSoloSeconds);
+        std::printf("LFSR random %6zuKB   %11.1f M/s\n", kb,
+                    result.opsPerSecond / 1e6);
+    }
+    for (std::size_t kb : {256, 2048, 16384}) {
+        const auto result =
+            runMemStrideStressor(kb * 1024, kSoloSeconds);
+        std::printf("stride-64  %6zuKB   %11.1f M/s\n", kb,
+                    result.opsPerSecond / 1e6);
+    }
+
+    // SMT co-location on real siblings, if the host has them.
+    const CpuTopology topo = CpuTopology::detect();
+    std::printf("\nhost topology: %d logical CPUs, %zu SMT sibling "
+                "pair(s)\n", topo.numLogicalCpus(),
+                topo.smtSiblingPairs().size());
+    if (!topo.hasSmt()) {
+        std::printf("no SMT siblings available: skipping the real "
+                    "co-location measurement\n(run on an SMT machine "
+                    "to see port-level interference live).\n");
+        return 0;
+    }
+
+    const auto [cpu_a, cpu_b] = topo.smtSiblingPairs().front();
+    std::printf("co-locating stressors on SMT siblings cpu%d/cpu%d:\n",
+                cpu_a, cpu_b);
+    std::printf("%-18s vs %-18s degradation\n", "victim", "aggressor");
+    for (int v = 0; v < 4; ++v) {
+        for (int a = 0; a < 4; ++a) {
+            const double degradation = smtDegradation(
+                kinds[v], kinds[a], cpu_a, cpu_b, solo[v]);
+            std::printf("%-18s vs %-18s %8.1f%%\n",
+                        fuKindName(kinds[v]).data(),
+                        fuKindName(kinds[a]).data(),
+                        100 * degradation);
+        }
+    }
+    std::printf("\nsame-port pairs (e.g. FP_MUL vs FP_MUL) should "
+                "degrade most; disjoint ports least.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tail-latency example: how a throughput degradation becomes a tail
+ * latency blow-up (Equations 4-6), and why tail QoS targets admit
+ * fewer co-locations than average-performance targets.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/tail_latency
+ */
+
+#include <cstdio>
+
+#include "core/smite.h"
+
+using namespace smite;
+
+int
+main()
+{
+    const auto &ws = workload::cloudsuite::byName("Web-Search");
+    const core::TailLatencyPredictor predictor(ws);
+
+    std::printf("Web-Search worker thread as an M/M/1 queue:\n");
+    std::printf("  arrival rate lambda = %.0f req/s\n",
+                ws.arrivalRate);
+    std::printf("  service rate mu     = %.0f req/s\n",
+                ws.serviceRate);
+    std::printf("  offered load rho    = %.2f\n",
+                ws.arrivalRate / ws.serviceRate);
+    std::printf("  solo p90 latency    = %.3f ms (closed form)\n\n",
+                1e3 * predictor.soloPercentile(0.90));
+
+    // Validate the closed form against a discrete-event simulation.
+    const double simulated = predictor.measurePercentile(0.90, 0.0);
+    std::printf("  discrete-event check: simulated solo p90 = "
+                "%.3f ms\n\n", 1e3 * simulated);
+
+    std::printf("%-14s %12s %16s %16s\n", "degradation",
+                "avg QoS", "p90 (Eq. 6)", "p90 stretch");
+    const double solo = predictor.soloPercentile(0.90);
+    for (double deg :
+         {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35}) {
+        const double p90 = predictor.predictPercentile(0.90, deg);
+        std::printf("%12.0f%% %11.0f%% %13.3f ms %15.2fx\n",
+                    100 * deg, 100 * (1 - deg), 1e3 * p90,
+                    p90 / solo);
+    }
+
+    std::printf("\nNote the super-linear growth: a 30%% throughput "
+                "degradation already\nstretches the p90 by more than "
+                "3x, which is why the paper's tail-QoS\ntargets admit "
+                "far fewer co-locations (Figure 16 vs Figure 14).\n");
+    return 0;
+}

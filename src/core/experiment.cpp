@@ -1,0 +1,336 @@
+#include "core/experiment.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/generator.h"
+
+namespace smite::core {
+
+Lab::Lab(const sim::MachineConfig &config, sim::Cycle warmup,
+         sim::Cycle measure)
+    : machine_(config), suite_(rulers::defaultSuite(config)),
+      characterizer_(machine_, suite_, warmup, measure),
+      warmup_(warmup), measure_(measure)
+{
+}
+
+std::string
+Lab::pairKey(const std::string &a, const std::string &b,
+             CoLocationMode mode) const
+{
+    return a + "|" + b + "|" + modeName(mode);
+}
+
+void
+Lab::appendToDisk(const std::string &line)
+{
+    if (diskCachePath_.empty())
+        return;
+    std::ofstream out(diskCachePath_, std::ios::app);
+    out.precision(17);
+    out << line << "\n";
+}
+
+void
+Lab::loadDiskCache(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream row(line);
+        std::string kind, key;
+        if (!(row >> kind >> key))
+            continue;
+        if (kind == "solo") {
+            double v;
+            if (row >> v)
+                soloIpcCache_[key] = v;
+        } else if (kind == "pair") {
+            double a, b;
+            if (row >> a >> b)
+                pairCache_[key] = {a, b};
+        } else if (kind == "multi") {
+            double v;
+            if (row >> v)
+                multiCache_[key] = v;
+        } else if (kind == "pmu") {
+            PmuProfile p{};
+            bool ok = true;
+            for (double &v : p)
+                ok = ok && static_cast<bool>(row >> v);
+            if (ok)
+                pmuCache_[key] = p;
+        } else if (kind == "ports") {
+            std::array<double, sim::kNumPorts> utilization{};
+            bool ok = true;
+            for (double &v : utilization)
+                ok = ok && static_cast<bool>(row >> v);
+            if (ok)
+                portCache_[key] = utilization;
+        } else if (kind == "char") {
+            Characterization c;
+            bool ok = true;
+            for (double &v : c.sensitivity)
+                ok = ok && static_cast<bool>(row >> v);
+            for (double &v : c.contentiousness)
+                ok = ok && static_cast<bool>(row >> v);
+            if (ok)
+                characterizationCache_[key] = c;
+        }
+    }
+}
+
+void
+Lab::enableDiskCache(const std::string &path)
+{
+    loadDiskCache(path);
+    diskCachePath_ = path;
+}
+
+namespace {
+
+/** Format doubles for the cache file at full precision. */
+std::string
+formatValues(std::initializer_list<double> values)
+{
+    std::ostringstream out;
+    out.precision(17);
+    for (double v : values)
+        out << " " << v;
+    return out.str();
+}
+
+} // namespace
+
+double
+Lab::soloIpc(const workload::WorkloadProfile &profile, int threads)
+{
+    const std::string key =
+        profile.name + "#" + std::to_string(threads);
+    const auto it = soloIpcCache_.find(key);
+    if (it != soloIpcCache_.end())
+        return it->second;
+    const double ipc = characterizer_.soloIpc(profile, threads);
+    soloIpcCache_.emplace(key, ipc);
+    appendToDisk("solo " + key + formatValues({ipc}));
+    return ipc;
+}
+
+const sim::CounterBlock &
+Lab::soloCounters(const workload::WorkloadProfile &profile)
+{
+    const auto it = soloCounterCache_.find(profile.name);
+    if (it != soloCounterCache_.end())
+        return it->second;
+    workload::ProfileUopSource source(profile);
+    sim::CounterBlock counters =
+        machine_.runSolo(source, warmup_, measure_);
+    return soloCounterCache_.emplace(profile.name, counters)
+        .first->second;
+}
+
+PmuProfile
+Lab::pmuProfile(const workload::WorkloadProfile &profile)
+{
+    const auto it = pmuCache_.find(profile.name);
+    if (it != pmuCache_.end())
+        return it->second;
+    const PmuProfile rates = soloCounters(profile).pmuRates();
+    pmuCache_.emplace(profile.name, rates);
+    std::string line = "pmu " + profile.name;
+    for (double v : rates)
+        line += formatValues({v});
+    appendToDisk(line);
+    return rates;
+}
+
+const Characterization &
+Lab::characterization(const workload::WorkloadProfile &profile,
+                      CoLocationMode mode, int threads)
+{
+    const std::string key = profile.name + "#" + modeName(mode) + "#" +
+                            std::to_string(threads);
+    const auto it = characterizationCache_.find(key);
+    if (it != characterizationCache_.end())
+        return it->second;
+    Characterization c =
+        characterizer_.characterize(profile, mode, threads);
+    std::string line = "char " + key;
+    for (double v : c.sensitivity)
+        line += formatValues({v});
+    for (double v : c.contentiousness)
+        line += formatValues({v});
+    appendToDisk(line);
+    return characterizationCache_.emplace(key, c).first->second;
+}
+
+double
+Lab::pairDegradation(const workload::WorkloadProfile &victim,
+                     const workload::WorkloadProfile &aggressor,
+                     CoLocationMode mode)
+{
+    const std::string key = pairKey(victim.name, aggressor.name, mode);
+    const auto it = pairCache_.find(key);
+    if (it != pairCache_.end())
+        return it->second.first;
+
+    workload::ProfileUopSource a(victim, /*seed=*/1);
+    workload::ProfileUopSource b(aggressor, /*seed=*/2);
+    const auto counters =
+        mode == CoLocationMode::kSmt
+            ? machine_.runPairSmt(a, b, warmup_, measure_)
+            : machine_.runPairCmp(a, b, warmup_, measure_);
+
+    const double solo_a = soloIpc(victim);
+    const double solo_b = soloIpc(aggressor);
+    const double deg_a =
+        solo_a > 0.0 ? (solo_a - counters[0].ipc()) / solo_a : 0.0;
+    const double deg_b =
+        solo_b > 0.0 ? (solo_b - counters[1].ipc()) / solo_b : 0.0;
+
+    pairCache_.emplace(key, std::make_pair(deg_a, deg_b));
+    pairCache_.emplace(pairKey(aggressor.name, victim.name, mode),
+                       std::make_pair(deg_b, deg_a));
+    appendToDisk("pair " + key + formatValues({deg_a, deg_b}));
+    appendToDisk("pair " + pairKey(aggressor.name, victim.name, mode) +
+                 formatValues({deg_b, deg_a}));
+    return deg_a;
+}
+
+std::array<double, sim::kNumPorts>
+Lab::pairPortUtilization(const workload::WorkloadProfile &a,
+                         const workload::WorkloadProfile &b,
+                         CoLocationMode mode)
+{
+    const std::string key = "ports|" + pairKey(a.name, b.name, mode);
+    const auto it = portCache_.find(key);
+    if (it != portCache_.end())
+        return it->second;
+
+    workload::ProfileUopSource sa(a, /*seed=*/1);
+    workload::ProfileUopSource sb(b, /*seed=*/2);
+    const auto counters =
+        mode == CoLocationMode::kSmt
+            ? machine_.runPairSmt(sa, sb, warmup_, measure_)
+            : machine_.runPairCmp(sa, sb, warmup_, measure_);
+
+    std::array<double, sim::kNumPorts> utilization{};
+    for (int p = 0; p < sim::kNumPorts; ++p) {
+        utilization[p] = counters[0].portUtilization(p) +
+                         counters[1].portUtilization(p);
+    }
+    portCache_.emplace(key, utilization);
+    std::string line = "ports " + key;
+    for (double u : utilization)
+        line += formatValues({u});
+    appendToDisk(line);
+    return utilization;
+}
+
+double
+Lab::multiInstanceDegradation(const workload::WorkloadProfile &latency,
+                              int threads,
+                              const workload::WorkloadProfile &batch,
+                              int instances, CoLocationMode mode)
+{
+    const int cores = machine_.config().numCores;
+    if (threads < 1 || instances < 1 || instances > threads)
+        throw std::invalid_argument("bad thread/instance counts");
+    if (mode == CoLocationMode::kSmt && threads > cores)
+        throw std::invalid_argument("too many threads for SMT");
+    if (mode == CoLocationMode::kCmp && threads + instances > cores)
+        throw std::invalid_argument("too many placements for CMP");
+
+    const std::string key = latency.name + "#" + batch.name + "#" +
+                            modeName(mode) + "#" +
+                            std::to_string(threads) + "x" +
+                            std::to_string(instances);
+    const auto it = multiCache_.find(key);
+    if (it != multiCache_.end())
+        return it->second;
+
+    // Latency app: context 0 of cores 0..threads-1.
+    std::vector<workload::ProfileUopSource> app_sources;
+    app_sources.reserve(threads);
+    for (int t = 0; t < threads; ++t)
+        app_sources.emplace_back(latency, /*seed=*/1 + t);
+    std::vector<sim::Placement> placements;
+    for (int t = 0; t < threads; ++t)
+        placements.push_back(sim::Placement{t, 0, &app_sources[t]});
+
+    // Batch instances: sibling contexts (SMT) or the idle cores (CMP).
+    std::vector<workload::ProfileUopSource> batch_sources;
+    batch_sources.reserve(instances);
+    for (int k = 0; k < instances; ++k)
+        batch_sources.emplace_back(batch, /*seed=*/100 + k);
+    for (int k = 0; k < instances; ++k) {
+        if (mode == CoLocationMode::kSmt)
+            placements.push_back(sim::Placement{k, 1, &batch_sources[k]});
+        else
+            placements.push_back(
+                sim::Placement{threads + k, 0, &batch_sources[k]});
+    }
+
+    const auto counters = machine_.run(placements, warmup_, measure_);
+    double co_ipc = 0.0;
+    for (int t = 0; t < threads; ++t)
+        co_ipc += counters[t].ipc();
+
+    const double solo = soloIpc(latency, threads);
+    const double deg = solo > 0.0 ? (solo - co_ipc) / solo : 0.0;
+    multiCache_.emplace(key, deg);
+    appendToDisk("multi " + key + formatValues({deg}));
+    return deg;
+}
+
+SmiteModel
+Lab::trainSmite(const std::vector<workload::WorkloadProfile> &training_set,
+                CoLocationMode mode)
+{
+    std::vector<SmiteModel::Sample> samples;
+    for (const auto &a : training_set) {
+        for (const auto &b : training_set) {
+            if (a.name == b.name)
+                continue;
+            SmiteModel::Sample s;
+            s.victim = characterization(a, mode);
+            s.aggressor = characterization(b, mode);
+            s.degradation = pairDegradation(a, b, mode);
+            samples.push_back(std::move(s));
+        }
+    }
+    return SmiteModel::train(samples);
+}
+
+PmuModel
+Lab::trainPmu(const std::vector<workload::WorkloadProfile> &training_set,
+              CoLocationMode mode)
+{
+    std::vector<PmuModel::Sample> samples;
+    for (const auto &a : training_set) {
+        for (const auto &b : training_set) {
+            if (a.name == b.name)
+                continue;
+            PmuModel::Sample s;
+            s.victim = pmuProfile(a);
+            s.aggressor = pmuProfile(b);
+            s.degradation = pairDegradation(a, b, mode);
+            samples.push_back(std::move(s));
+        }
+    }
+    return PmuModel::train(samples);
+}
+
+double
+Lab::scaleToInstances(double pair_prediction, int instances, int threads)
+{
+    if (threads <= 0)
+        throw std::invalid_argument("threads must be positive");
+    return pair_prediction * static_cast<double>(instances) /
+           static_cast<double>(threads);
+}
+
+} // namespace smite::core

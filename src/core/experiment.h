@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The experiment lab: a memoizing front end over the machine model
+ * that provides every measurement the paper's evaluation needs —
+ * solo IPCs, PMU profiles, Ruler characterizations, pair and
+ * many-instance co-location degradations — plus the training
+ * protocols for the SMiTe and PMU models.
+ *
+ * Measurements are cached by (workload, mode, shape), so harnesses
+ * that revisit the same co-locations (e.g. a figure sweep) pay for
+ * each simulation once.
+ */
+
+#ifndef SMITE_CORE_EXPERIMENT_H
+#define SMITE_CORE_EXPERIMENT_H
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/characterize.h"
+#include "core/pmu_model.h"
+#include "core/smite_model.h"
+#include "sim/machine.h"
+#include "workload/profile.h"
+
+namespace smite::core {
+
+/**
+ * Memoizing measurement front end for one machine configuration.
+ */
+class Lab
+{
+  public:
+    /**
+     * @param config machine to measure on
+     * @param warmup cycles before counters accumulate
+     * @param measure measurement interval in cycles
+     */
+    explicit Lab(const sim::MachineConfig &config,
+                 sim::Cycle warmup = sim::kDefaultWarmupCycles,
+                 sim::Cycle measure = sim::kDefaultMeasureCycles);
+
+    /** The machine under test. */
+    const sim::Machine &machine() const { return machine_; }
+
+    /** The default Ruler suite for this machine. */
+    const std::vector<rulers::Ruler> &rulerSuite() const { return suite_; }
+
+    /** The characterization driver. */
+    const Characterizer &characterizer() const { return characterizer_; }
+
+    /** Solo IPC (aggregate over @p threads instances, one per core). */
+    double soloIpc(const workload::WorkloadProfile &profile,
+                   int threads = 1);
+
+    /** Solo counter block of a single-threaded run. */
+    const sim::CounterBlock &
+    soloCounters(const workload::WorkloadProfile &profile);
+
+    /** The 11 PMU rates of a solo run (input to the PMU model). */
+    PmuProfile pmuProfile(const workload::WorkloadProfile &profile);
+
+    /** Ruler characterization (cached). */
+    const Characterization &
+    characterization(const workload::WorkloadProfile &profile,
+                     CoLocationMode mode, int threads = 1);
+
+    /**
+     * Measured degradation of @p victim co-located with
+     * @p aggressor (Equation 7). Both directions of a pair are
+     * measured in one run and cached.
+     */
+    double pairDegradation(const workload::WorkloadProfile &victim,
+                           const workload::WorkloadProfile &aggressor,
+                           CoLocationMode mode);
+
+    /**
+     * Aggregated per-port utilization (sum over both co-located
+     * contexts) of a co-location pair — the quantity of the paper's
+     * Figures 3 and 5.
+     */
+    std::array<double, sim::kNumPorts>
+    pairPortUtilization(const workload::WorkloadProfile &a,
+                        const workload::WorkloadProfile &b,
+                        CoLocationMode mode);
+
+    /**
+     * Measured aggregate degradation of a @p threads -thread
+     * latency-sensitive application co-located with @p instances
+     * instances of @p batch (the paper's CloudSuite protocol:
+     * 6 threads + 1..6 batch instances for SMT, 3 + 1..3 for CMP).
+     */
+    double
+    multiInstanceDegradation(const workload::WorkloadProfile &latency,
+                             int threads,
+                             const workload::WorkloadProfile &batch,
+                             int instances, CoLocationMode mode);
+
+    /**
+     * Train a SMiTe model: characterize every workload in
+     * @p training_set, measure all ordered co-location pairs among
+     * them, and fit Equation 3.
+     */
+    SmiteModel trainSmite(
+        const std::vector<workload::WorkloadProfile> &training_set,
+        CoLocationMode mode);
+
+    /** Train the PMU baseline (Equation 9) on the same protocol. */
+    PmuModel trainPmu(
+        const std::vector<workload::WorkloadProfile> &training_set,
+        CoLocationMode mode);
+
+    /**
+     * Predicted degradation for the many-instance protocol: the
+     * pairwise model prediction scaled by the fraction of app
+     * threads that actually have a co-runner.
+     */
+    static double scaleToInstances(double pair_prediction, int instances,
+                                   int threads);
+
+    /**
+     * Persist measurements to @p path (write-through) and preload
+     * any measurements already recorded there. Several experiment
+     * harnesses share co-location measurements this way instead of
+     * re-simulating them. The file is a plain text key/value log;
+     * delete it to invalidate.
+     */
+    void enableDiskCache(const std::string &path);
+
+  private:
+    void appendToDisk(const std::string &line);
+    void loadDiskCache(const std::string &path);
+    std::string pairKey(const std::string &a, const std::string &b,
+                        CoLocationMode mode) const;
+
+    sim::Machine machine_;
+    std::vector<rulers::Ruler> suite_;
+    Characterizer characterizer_;
+    sim::Cycle warmup_;
+    sim::Cycle measure_;
+
+    std::map<std::string, double> soloIpcCache_;
+    std::map<std::string, sim::CounterBlock> soloCounterCache_;
+    std::map<std::string, PmuProfile> pmuCache_;
+    std::map<std::string, Characterization> characterizationCache_;
+    /** key -> (degradation of first, degradation of second) */
+    std::map<std::string, std::pair<double, double>> pairCache_;
+    std::map<std::string, double> multiCache_;
+    std::map<std::string, std::array<double, sim::kNumPorts>>
+        portCache_;
+
+    std::string diskCachePath_;  ///< empty = disk cache disabled
+};
+
+} // namespace smite::core
+
+#endif // SMITE_CORE_EXPERIMENT_H

@@ -1,0 +1,42 @@
+#include "core/pmu_model.h"
+
+#include <stdexcept>
+
+namespace smite::core {
+
+std::vector<double>
+PmuModel::features(const PmuProfile &victim, const PmuProfile &aggressor)
+{
+    std::vector<double> x;
+    x.reserve(2 * sim::kNumPmuRates);
+    x.insert(x.end(), victim.begin(), victim.end());
+    x.insert(x.end(), aggressor.begin(), aggressor.end());
+    return x;
+}
+
+PmuModel
+PmuModel::train(const std::vector<Sample> &samples, double ridge)
+{
+    if (samples.size() <= 2 * sim::kNumPmuRates) {
+        throw std::invalid_argument(
+            "need more samples than PMU features");
+    }
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    x.reserve(samples.size());
+    y.reserve(samples.size());
+    for (const Sample &s : samples) {
+        x.push_back(features(s.victim, s.aggressor));
+        y.push_back(s.degradation);
+    }
+    return PmuModel(stats::LinearModel::fit(x, y, ridge));
+}
+
+double
+PmuModel::predict(const PmuProfile &victim,
+                  const PmuProfile &aggressor) const
+{
+    return model_.predict(features(victim, aggressor));
+}
+
+} // namespace smite::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The PMU-counter baseline prediction model
+ * (paper Section IV-B1, Equation 9).
+ *
+ * The strongest baseline the paper could construct without Rulers: a
+ * linear regression over eleven solo-run hardware-counter rates of
+ * both co-located applications,
+ *
+ *   Deg(A|B) = sum_i (c_i^A PMU_i^A + c_i^B PMU_i^B) + c_0.
+ */
+
+#ifndef SMITE_CORE_PMU_MODEL_H
+#define SMITE_CORE_PMU_MODEL_H
+
+#include <array>
+#include <vector>
+
+#include "sim/counters.h"
+#include "stats/regression.h"
+
+namespace smite::core {
+
+/** Solo PMU profile of one application (the 11 rates of Eq. 9). */
+using PmuProfile = std::array<double, sim::kNumPmuRates>;
+
+/**
+ * Linear model over the solo PMU rates of both applications.
+ */
+class PmuModel
+{
+  public:
+    /** One training observation. */
+    struct Sample {
+        PmuProfile victim{};      ///< solo PMU rates of application A
+        PmuProfile aggressor{};   ///< solo PMU rates of application B
+        double degradation = 0.0; ///< measured Deg(A|B)
+    };
+
+    /**
+     * Fit the model.
+     * @param samples training observations (needs more samples than
+     *        2 * kNumPmuRates)
+     * @param ridge small L2 regularizer; PMU rates are collinear
+     *        (e.g. L2 hits vs L1 misses), so a nonzero default keeps
+     *        the normal equations well-posed
+     */
+    static PmuModel train(const std::vector<Sample> &samples,
+                          double ridge = 1e-6);
+
+    /** Predict Deg(A|B) from both solo PMU profiles. */
+    double predict(const PmuProfile &victim,
+                   const PmuProfile &aggressor) const;
+
+    /** Concatenated feature vector (A's rates then B's). */
+    static std::vector<double> features(const PmuProfile &victim,
+                                        const PmuProfile &aggressor);
+
+  private:
+    explicit PmuModel(stats::LinearModel model) : model_(std::move(model))
+    {}
+
+    stats::LinearModel model_;
+};
+
+} // namespace smite::core
+
+#endif // SMITE_CORE_PMU_MODEL_H

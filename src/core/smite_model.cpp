@@ -1,0 +1,42 @@
+#include "core/smite_model.h"
+
+#include <stdexcept>
+
+namespace smite::core {
+
+std::vector<double>
+SmiteModel::features(const Characterization &victim,
+                     const Characterization &aggressor)
+{
+    std::vector<double> x(rulers::kNumDimensions);
+    for (int i = 0; i < rulers::kNumDimensions; ++i)
+        x[i] = victim.sensitivity[i] * aggressor.contentiousness[i];
+    return x;
+}
+
+SmiteModel
+SmiteModel::train(const std::vector<Sample> &samples, double ridge)
+{
+    if (samples.size() <= rulers::kNumDimensions) {
+        throw std::invalid_argument(
+            "need more samples than sharing dimensions");
+    }
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    x.reserve(samples.size());
+    y.reserve(samples.size());
+    for (const Sample &s : samples) {
+        x.push_back(features(s.victim, s.aggressor));
+        y.push_back(s.degradation);
+    }
+    return SmiteModel(stats::LinearModel::fit(x, y, ridge));
+}
+
+double
+SmiteModel::predict(const Characterization &victim,
+                    const Characterization &aggressor) const
+{
+    return model_.predict(features(victim, aggressor));
+}
+
+} // namespace smite::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The SMiTe performance-interference prediction model
+ * (paper Section III-C1, Equation 3).
+ *
+ * The degradation of application A co-located with application B is
+ * modeled as a linear combination of the per-dimension products of
+ * A's sensitivity and B's contentiousness:
+ *
+ *   Deg(A|B) = sum_i c_i * Sen_i^A * Con_i^B + c_0
+ *
+ * Coefficients are fit by least squares against measured pair
+ * degradations of a training set.
+ */
+
+#ifndef SMITE_CORE_SMITE_MODEL_H
+#define SMITE_CORE_SMITE_MODEL_H
+
+#include <vector>
+
+#include "core/characterize.h"
+#include "stats/regression.h"
+
+namespace smite::core {
+
+/**
+ * Regression model over Ruler characterizations.
+ */
+class SmiteModel
+{
+  public:
+    /** One training observation. */
+    struct Sample {
+        Characterization victim;     ///< application A (degraded)
+        Characterization aggressor;  ///< application B (co-runner)
+        double degradation = 0.0;    ///< measured Deg(A|B), Eq. 7
+    };
+
+    /**
+     * Fit the model on measured co-location samples.
+     * @param samples training observations (needs more samples than
+     *        sharing dimensions)
+     * @param ridge small L2 regularizer for numerical robustness
+     */
+    static SmiteModel train(const std::vector<Sample> &samples,
+                            double ridge = 1e-8);
+
+    /** Predict Deg(A|B) from A's sensitivity and B's contentiousness. */
+    double predict(const Characterization &victim,
+                   const Characterization &aggressor) const;
+
+    /** The per-dimension coefficients c_i (in dimension order). */
+    const std::vector<double> &coefficients() const
+    {
+        return model_.weights();
+    }
+
+    /** The constant term c_0 (residual interference). */
+    double constantTerm() const { return model_.intercept(); }
+
+    /**
+     * Feature vector of a (victim, aggressor) pair:
+     * x_i = Sen_i^A * Con_i^B.
+     */
+    static std::vector<double> features(const Characterization &victim,
+                                        const Characterization &aggressor);
+
+  private:
+    explicit SmiteModel(stats::LinearModel model)
+        : model_(std::move(model))
+    {}
+
+    stats::LinearModel model_;
+};
+
+} // namespace smite::core
+
+#endif // SMITE_CORE_SMITE_MODEL_H

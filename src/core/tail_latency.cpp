@@ -1,0 +1,55 @@
+#include "core/tail_latency.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace smite::core {
+
+TailLatencyPredictor::TailLatencyPredictor(
+    const workload::WorkloadProfile &profile)
+    : queue_(profile.isLatencySensitive() ? profile.arrivalRate : 1.0,
+             profile.isLatencySensitive() ? profile.serviceRate : 2.0)
+{
+    if (!profile.isLatencySensitive()) {
+        throw std::invalid_argument(
+            "profile has no arrival/service rates: " + profile.name);
+    }
+}
+
+double
+TailLatencyPredictor::soloPercentile(double p) const
+{
+    return queue_.percentileLatency(p);
+}
+
+double
+TailLatencyPredictor::predictPercentile(double p,
+                                        double predicted_degradation) const
+{
+    if (predicted_degradation < 0.0)
+        predicted_degradation = 0.0;
+    if (predicted_degradation >= 1.0) {
+        // The model predicts a dead server: the queue has no
+        // capacity left, so the percentile diverges.
+        return std::numeric_limits<double>::infinity();
+    }
+    return queue_.degradedPercentileLatency(p, predicted_degradation);
+}
+
+double
+TailLatencyPredictor::measurePercentile(double p,
+                                        double actual_degradation,
+                                        std::uint64_t requests,
+                                        std::uint64_t seed) const
+{
+    if (actual_degradation < 0.0)
+        actual_degradation = 0.0;
+    if (actual_degradation >= 1.0)
+        throw std::invalid_argument("degradation must be below 1");
+    const double mu_prime = (1.0 - actual_degradation) * queue_.mu();
+    const auto sim =
+        queueing::simulateMm1(queue_.lambda(), mu_prime, requests, seed);
+    return sim.percentile(p);
+}
+
+} // namespace smite::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tail-latency prediction (paper Section III-C3, Equations 4-6).
+ *
+ * Maps a (predicted) throughput degradation of a latency-sensitive
+ * service onto its p-th percentile latency via the closed-form FCFS
+ * M/M/1 response-time distribution: the degraded service rate is
+ * mu' = (1 - Deg) mu, and t_p = -ln(1-p) / (mu' - lambda).
+ */
+
+#ifndef SMITE_CORE_TAIL_LATENCY_H
+#define SMITE_CORE_TAIL_LATENCY_H
+
+#include "queueing/des.h"
+#include "queueing/mm1.h"
+#include "workload/profile.h"
+
+namespace smite::core {
+
+/**
+ * Percentile-latency predictor for a latency-sensitive workload.
+ */
+class TailLatencyPredictor
+{
+  public:
+    /**
+     * @param profile workload carrying arrival/service rates
+     * @throws std::invalid_argument if the profile has no queueing
+     *         parameters
+     */
+    explicit TailLatencyPredictor(const workload::WorkloadProfile &profile);
+
+    /** Solo p-th percentile latency (closed form). */
+    double soloPercentile(double p) const;
+
+    /**
+     * Predicted p-th percentile latency under a predicted
+     * throughput degradation (Equation 6). Returns +inf if the
+     * degraded queue is unstable.
+     */
+    double predictPercentile(double p, double predicted_degradation) const;
+
+    /**
+     * "Measured" p-th percentile latency: a discrete-event queueing
+     * simulation driven by the *actual* degradation observed on the
+     * machine — this stands in for the paper's harness-reported
+     * latency statistics.
+     *
+     * @param p percentile in (0, 1)
+     * @param actual_degradation measured throughput degradation
+     * @param requests simulated request count
+     * @param seed simulation seed
+     */
+    double measurePercentile(double p, double actual_degradation,
+                             std::uint64_t requests = 200000,
+                             std::uint64_t seed = 7) const;
+
+    /** The underlying solo queue. */
+    const queueing::Mm1 &queue() const { return queue_; }
+
+  private:
+    queueing::Mm1 queue_;
+};
+
+} // namespace smite::core
+
+#endif // SMITE_CORE_TAIL_LATENCY_H

@@ -1,0 +1,132 @@
+#include "hwrulers/fu_stressors.h"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SMITE_HAVE_SSE 1
+#endif
+
+namespace smite::hwrulers {
+
+namespace {
+
+/** Operations per inner chunk; large enough to amortize clock reads. */
+constexpr std::uint64_t kChunkOps = 1 << 16;
+
+#if SMITE_HAVE_SSE
+
+/**
+ * Eight independent accumulators, no loop-carried dependence between
+ * consecutive same-register ops beyond the FU latency; the "+x"
+ * constraints stop the compiler from folding the chain away.
+ */
+#define SMITE_FU_CHUNK(op)                                              \
+    do {                                                                \
+        __m128 x0 = _mm_set1_ps(1.0001f), x1 = x0, x2 = x0, x3 = x0;    \
+        __m128 x4 = x0, x5 = x0, x6 = x0, x7 = x0;                      \
+        for (std::uint64_t i = 0; i < kChunkOps / 8; ++i) {             \
+            x0 = op(x0); x1 = op(x1); x2 = op(x2); x3 = op(x3);         \
+            x4 = op(x4); x5 = op(x5); x6 = op(x6); x7 = op(x7);         \
+            __asm__ __volatile__(""                                     \
+                : "+x"(x0), "+x"(x1), "+x"(x2), "+x"(x3),               \
+                  "+x"(x4), "+x"(x5), "+x"(x6), "+x"(x7));              \
+        }                                                               \
+    } while (0)
+
+inline __m128 mulOp(__m128 v) { return _mm_mul_ps(v, v); }
+inline __m128 addOp(__m128 v) { return _mm_add_ps(v, v); }
+inline __m128 shfOp(__m128 v)
+{
+    return _mm_shuffle_ps(v, v, 0x1B);
+}
+
+void
+chunkFpMul()
+{
+    SMITE_FU_CHUNK(mulOp);
+}
+
+void
+chunkFpAdd()
+{
+    SMITE_FU_CHUNK(addOp);
+}
+
+void
+chunkFpShf()
+{
+    SMITE_FU_CHUNK(shfOp);
+}
+
+#else // !SMITE_HAVE_SSE
+
+/** Scalar fallbacks for non-x86 hosts. */
+void
+chunkGenericFp(float mul)
+{
+    float x0 = 1.0001f, x1 = x0, x2 = x0, x3 = x0;
+    for (std::uint64_t i = 0; i < kChunkOps / 4; ++i) {
+        x0 = x0 * mul; x1 = x1 * mul; x2 = x2 * mul; x3 = x3 * mul;
+        __asm__ __volatile__("" : "+r"(x0), "+r"(x1), "+r"(x2),
+                                  "+r"(x3));
+    }
+}
+
+void chunkFpMul() { chunkGenericFp(1.0001f); }
+void chunkFpAdd() { chunkGenericFp(1.0002f); }
+void chunkFpShf() { chunkGenericFp(1.0003f); }
+
+#endif // SMITE_HAVE_SSE
+
+void
+chunkIntAdd()
+{
+    std::uint32_t x0 = 1, x1 = 2, x2 = 3, x3 = 4;
+    std::uint32_t x4 = 5, x5 = 6, x6 = 7, x7 = 8;
+    for (std::uint64_t i = 0; i < kChunkOps / 8; ++i) {
+        x0 += x0; x1 += x1; x2 += x2; x3 += x3;
+        x4 += x4; x5 += x5; x6 += x6; x7 += x7;
+        __asm__ __volatile__(""
+            : "+r"(x0), "+r"(x1), "+r"(x2), "+r"(x3),
+              "+r"(x4), "+r"(x5), "+r"(x6), "+r"(x7));
+    }
+}
+
+void
+runChunk(FuKind kind)
+{
+    switch (kind) {
+      case FuKind::kFpMul:  chunkFpMul(); break;
+      case FuKind::kFpAdd:  chunkFpAdd(); break;
+      case FuKind::kFpShf:  chunkFpShf(); break;
+      case FuKind::kIntAdd: chunkIntAdd(); break;
+    }
+}
+
+} // namespace
+
+StressorResult
+runFuStressor(FuKind kind, double seconds, const std::atomic<bool> *stop)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::duration<double>(seconds);
+
+    StressorResult result;
+    while (Clock::now() < deadline &&
+           (stop == nullptr || !stop->load(std::memory_order_relaxed))) {
+        runChunk(kind);
+        result.operations += kChunkOps;
+    }
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (result.seconds > 0.0) {
+        result.opsPerSecond =
+            static_cast<double>(result.operations) / result.seconds;
+    }
+    return result;
+}
+
+} // namespace smite::hwrulers

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Real-hardware functional-unit stressors: the unrolled
+ * mulps/addps/shufps/addl loops of the paper's Figure 9(a-d),
+ * implemented with SSE intrinsics plus compiler barriers so the
+ * independent operations actually reach the targeted issue port.
+ *
+ * These run on the host CPU (not the simulator). On a machine with
+ * SMT siblings they can be co-scheduled against an application to
+ * measure real sensitivity/contentiousness; on hosts without SMT
+ * they still demonstrate and validate the stressor kernels.
+ */
+
+#ifndef SMITE_HWRULERS_FU_STRESSORS_H
+#define SMITE_HWRULERS_FU_STRESSORS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace smite::hwrulers {
+
+/** Kinds of hardware functional-unit stressors. */
+enum class FuKind {
+    kFpMul,   ///< mulps loop (port 0 on Sandy Bridge)
+    kFpAdd,   ///< addps loop (port 1)
+    kFpShf,   ///< shufps loop (port 5)
+    kIntAdd,  ///< addl loop (ports 0, 1, 5)
+};
+
+/** Name of a stressor kind. */
+constexpr std::string_view
+fuKindName(FuKind kind)
+{
+    switch (kind) {
+      case FuKind::kFpMul:  return "FP_MUL(mulps)";
+      case FuKind::kFpAdd:  return "FP_ADD(addps)";
+      case FuKind::kFpShf:  return "FP_SHF(shufps)";
+      case FuKind::kIntAdd: return "INT_ADD(addl)";
+    }
+    return "?";
+}
+
+/** Throughput measurement of a stressor run. */
+struct StressorResult {
+    std::uint64_t operations = 0;  ///< retired kernel operations
+    double seconds = 0.0;          ///< wall-clock duration
+    double opsPerSecond = 0.0;     ///< operations / seconds
+};
+
+/**
+ * Run a functional-unit stressor for approximately @p seconds of
+ * wall-clock time (or until @p stop becomes true, if provided).
+ *
+ * @param kind which port-specific kernel to run
+ * @param seconds target duration
+ * @param stop optional external cancellation flag
+ * @return measured throughput in kernel operations per second
+ */
+StressorResult runFuStressor(FuKind kind, double seconds,
+                             const std::atomic<bool> *stop = nullptr);
+
+} // namespace smite::hwrulers
+
+#endif // SMITE_HWRULERS_FU_STRESSORS_H

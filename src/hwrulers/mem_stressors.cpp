@@ -1,0 +1,87 @@
+#include "hwrulers/mem_stressors.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace smite::hwrulers {
+
+namespace {
+
+constexpr std::uint64_t kChunkOps = 1 << 14;
+
+using Clock = std::chrono::steady_clock;
+
+} // namespace
+
+StressorResult
+runMemRandomStressor(std::size_t footprintBytes, double seconds,
+                     const std::atomic<bool> *stop)
+{
+    if (footprintBytes < 64)
+        throw std::invalid_argument("footprint too small");
+
+    std::vector<std::uint8_t> data(footprintBytes, 1);
+    volatile std::uint8_t *chunk = data.data();
+    Lfsr32 lfsr;
+
+    const auto start = Clock::now();
+    const auto deadline = start + std::chrono::duration<double>(seconds);
+
+    StressorResult result;
+    while (Clock::now() < deadline &&
+           (stop == nullptr || !stop->load(std::memory_order_relaxed))) {
+        for (std::uint64_t i = 0; i < kChunkOps; ++i) {
+            const std::size_t idx = lfsr.next() % footprintBytes;
+            chunk[idx] = chunk[idx] + 1;
+        }
+        result.operations += kChunkOps;
+    }
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (result.seconds > 0.0) {
+        result.opsPerSecond =
+            static_cast<double>(result.operations) / result.seconds;
+    }
+    return result;
+}
+
+StressorResult
+runMemStrideStressor(std::size_t footprintBytes, double seconds,
+                     const std::atomic<bool> *stop)
+{
+    if (footprintBytes < 128)
+        throw std::invalid_argument("footprint too small");
+
+    const std::size_t half = footprintBytes / 2;
+    std::vector<std::uint8_t> data(footprintBytes, 1);
+    volatile std::uint8_t *first = data.data();
+    volatile std::uint8_t *second = data.data() + half;
+
+    const auto start = Clock::now();
+    const auto deadline = start + std::chrono::duration<double>(seconds);
+
+    StressorResult result;
+    while (Clock::now() < deadline &&
+           (stop == nullptr || !stop->load(std::memory_order_relaxed))) {
+        std::uint64_t ops = 0;
+        for (std::size_t i = 0; i < half; i += 64) {
+            first[i] = second[i] + 1;
+            ++ops;
+        }
+        for (std::size_t i = 0; i < half; i += 64) {
+            second[i] = first[i] + 1;
+            ++ops;
+        }
+        result.operations += ops;
+    }
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (result.seconds > 0.0) {
+        result.opsPerSecond =
+            static_cast<double>(result.operations) / result.seconds;
+    }
+    return result;
+}
+
+} // namespace smite::hwrulers

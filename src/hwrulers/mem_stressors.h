@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Real-hardware memory stressors: the LFSR random-increment kernel
+ * of Figure 9(e) (L1/L2 ruler) and the 64-byte-stride two-chunk walk
+ * of Figure 9(f) (L3 ruler). The working-set size is the intensity
+ * knob, exactly as in the paper.
+ */
+
+#ifndef SMITE_HWRULERS_MEM_STRESSORS_H
+#define SMITE_HWRULERS_MEM_STRESSORS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "hwrulers/fu_stressors.h"
+
+namespace smite::hwrulers {
+
+/**
+ * Figure 9(e): `data_chunk[RAND % FOOTPRINT]++` with a 32-bit LFSR
+ * random index, run for approximately @p seconds.
+ *
+ * @param footprintBytes working set size (>= 64)
+ * @param seconds target duration
+ * @param stop optional external cancellation flag
+ * @return throughput in memory update operations per second
+ */
+StressorResult runMemRandomStressor(std::size_t footprintBytes,
+                                    double seconds,
+                                    const std::atomic<bool> *stop = nullptr);
+
+/**
+ * Figure 9(f): alternately write each half of the footprint from the
+ * other half with a cache-line stride.
+ *
+ * @param footprintBytes working set size (>= 128)
+ * @param seconds target duration
+ * @param stop optional external cancellation flag
+ * @return throughput in cache-line update operations per second
+ */
+StressorResult runMemStrideStressor(std::size_t footprintBytes,
+                                    double seconds,
+                                    const std::atomic<bool> *stop = nullptr);
+
+/** The 32-bit Galois LFSR of Figure 9(e), exposed for testing. */
+class Lfsr32
+{
+  public:
+    explicit Lfsr32(std::uint32_t seed = 0xACE1ACE1u)
+        : state_(seed == 0 ? 1 : seed)
+    {}
+
+    /** Advance and return the new state. */
+    std::uint32_t
+    next()
+    {
+        state_ = (state_ >> 1) ^
+                 (static_cast<std::uint32_t>(-(state_ & 1u)) &
+                  0xd0000001u);
+        return state_;
+    }
+
+  private:
+    std::uint32_t state_;
+};
+
+} // namespace smite::hwrulers
+
+#endif // SMITE_HWRULERS_MEM_STRESSORS_H

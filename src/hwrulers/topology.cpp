@@ -1,0 +1,83 @@
+#include "hwrulers/topology.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace smite::hwrulers {
+
+std::vector<int>
+CpuTopology::parseCpuList(const std::string &list)
+{
+    std::vector<int> cpus;
+    std::stringstream stream(list);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        if (token.empty())
+            continue;
+        const auto dash = token.find('-');
+        try {
+            if (dash == std::string::npos) {
+                cpus.push_back(std::stoi(token));
+            } else {
+                const int lo = std::stoi(token.substr(0, dash));
+                const int hi = std::stoi(token.substr(dash + 1));
+                for (int c = lo; c <= hi; ++c)
+                    cpus.push_back(c);
+            }
+        } catch (const std::exception &) {
+            // Malformed chunk: skip it, keep what we can parse.
+        }
+    }
+    return cpus;
+}
+
+CpuTopology
+CpuTopology::detect()
+{
+    CpuTopology topo;
+
+    std::ifstream online("/sys/devices/system/cpu/online");
+    std::string line;
+    if (online && std::getline(online, line))
+        topo.onlineCpus_ = parseCpuList(line);
+
+    std::set<int> seen;
+    for (int cpu : topo.onlineCpus_) {
+        if (seen.count(cpu))
+            continue;
+        std::ifstream sib("/sys/devices/system/cpu/cpu" +
+                          std::to_string(cpu) +
+                          "/topology/thread_siblings_list");
+        if (!sib || !std::getline(sib, line))
+            continue;
+        std::vector<int> sibs = parseCpuList(line);
+        std::sort(sibs.begin(), sibs.end());
+        for (int s : sibs)
+            seen.insert(s);
+        if (sibs.size() >= 2)
+            topo.siblingPairs_.emplace_back(sibs[0], sibs[1]);
+    }
+    return topo;
+}
+
+bool
+pinToCpu(int cpu)
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+} // namespace smite::hwrulers

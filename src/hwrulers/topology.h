@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Host CPU topology discovery and thread pinning.
+ *
+ * Characterizing on real hardware requires placing the application
+ * and the Ruler on *sibling SMT contexts of the same physical core*;
+ * this module finds those sibling pairs from sysfs and pins threads.
+ */
+
+#ifndef SMITE_HWRULERS_TOPOLOGY_H
+#define SMITE_HWRULERS_TOPOLOGY_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smite::hwrulers {
+
+/**
+ * Snapshot of the host's logical-CPU topology.
+ */
+class CpuTopology
+{
+  public:
+    /** Discover the topology from /sys (best effort). */
+    static CpuTopology detect();
+
+    /** Parse a sysfs CPU list string like "0-3,8,10-11" (for tests). */
+    static std::vector<int> parseCpuList(const std::string &list);
+
+    /** Number of online logical CPUs. */
+    int numLogicalCpus() const
+    {
+        return static_cast<int>(onlineCpus_.size());
+    }
+
+    /** Online logical CPU ids. */
+    const std::vector<int> &onlineCpus() const { return onlineCpus_; }
+
+    /** Does any core expose two or more hardware contexts? */
+    bool hasSmt() const { return !siblingPairs_.empty(); }
+
+    /**
+     * Pairs of logical CPUs that are SMT siblings on one physical
+     * core (first two siblings of each core).
+     */
+    const std::vector<std::pair<int, int>> &
+    smtSiblingPairs() const
+    {
+        return siblingPairs_;
+    }
+
+  private:
+    std::vector<int> onlineCpus_;
+    std::vector<std::pair<int, int>> siblingPairs_;
+};
+
+/**
+ * Pin the calling thread to one logical CPU.
+ * @return true on success
+ */
+bool pinToCpu(int cpu);
+
+} // namespace smite::hwrulers
+
+#endif // SMITE_HWRULERS_TOPOLOGY_H

@@ -1,0 +1,74 @@
+#include "queueing/des.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/rng.h"
+
+namespace smite::queueing {
+
+double
+QueueSimResult::percentile(double p) const
+{
+    if (responseTimes.empty())
+        throw std::logic_error("no samples");
+    if (p <= 0.0 || p >= 1.0)
+        throw std::invalid_argument("percentile must be in (0, 1)");
+    std::vector<double> sorted = responseTimes;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = p * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+QueueSimResult::meanResponse() const
+{
+    if (responseTimes.empty())
+        throw std::logic_error("no samples");
+    double sum = 0.0;
+    for (double t : responseTimes)
+        sum += t;
+    return sum / static_cast<double>(responseTimes.size());
+}
+
+QueueSimResult
+simulateMm1(double lambda, double mu, std::uint64_t requests,
+            std::uint64_t seed, std::uint64_t warmupRequests)
+{
+    if (lambda <= 0.0 || mu <= 0.0)
+        throw std::invalid_argument("rates must be positive");
+    if (requests == 0)
+        throw std::invalid_argument("need at least one request");
+
+    workload::Rng rng(seed);
+    auto exponential = [&rng](double rate) {
+        // Inverse-transform sampling; nextDouble() < 1 so log is safe.
+        return -std::log(1.0 - rng.nextDouble()) / rate;
+    };
+
+    QueueSimResult result;
+    if (requests > warmupRequests)
+        result.responseTimes.reserve(requests - warmupRequests);
+
+    // FCFS single server: departure(n) =
+    //   max(arrival(n), departure(n-1)) + service(n).
+    double arrival = 0.0;
+    double prev_departure = 0.0;
+    for (std::uint64_t n = 0; n < requests; ++n) {
+        arrival += exponential(lambda);
+        const double start = std::max(arrival, prev_departure);
+        const double departure = start + exponential(mu);
+        prev_departure = departure;
+        if (n >= warmupRequests)
+            result.responseTimes.push_back(departure - arrival);
+    }
+    if (result.responseTimes.empty())
+        throw std::invalid_argument("warmup consumed all requests");
+    return result;
+}
+
+} // namespace smite::queueing

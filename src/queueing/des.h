@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Discrete-event simulator for a single-server FCFS queue.
+ *
+ * Used two ways: (a) to validate the closed-form M/M/1 percentile
+ * formula, and (b) as the "measured" latency of a co-located
+ * latency-sensitive service — the service rate observed on the SMT
+ * machine (degraded by interference) drives the simulator, and the
+ * resulting empirical 90th-percentile latency plays the role of the
+ * paper's measured tail latency.
+ */
+
+#ifndef SMITE_QUEUEING_DES_H
+#define SMITE_QUEUEING_DES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace smite::queueing {
+
+/** Result of one queueing simulation. */
+struct QueueSimResult {
+    std::vector<double> responseTimes;  ///< per-request sojourn times
+
+    /** Empirical p-th percentile of the response times. */
+    double percentile(double p) const;
+
+    /** Empirical mean response time. */
+    double meanResponse() const;
+};
+
+/**
+ * Simulate an FCFS single-server queue with exponential interarrival
+ * and service times (M/M/1).
+ *
+ * @param lambda arrival rate (requests/s)
+ * @param mu service rate (requests/s)
+ * @param requests number of requests to simulate
+ * @param seed RNG seed (deterministic for a given seed)
+ * @param warmupRequests initial requests discarded from statistics
+ */
+QueueSimResult simulateMm1(double lambda, double mu,
+                           std::uint64_t requests, std::uint64_t seed = 1,
+                           std::uint64_t warmupRequests = 1000);
+
+} // namespace smite::queueing
+
+#endif // SMITE_QUEUEING_DES_H

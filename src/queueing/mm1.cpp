@@ -1,0 +1,65 @@
+#include "queueing/mm1.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace smite::queueing {
+
+Mm1::Mm1(double lambda, double mu)
+    : lambda_(lambda), mu_(mu)
+{
+    if (lambda <= 0.0 || mu <= 0.0)
+        throw std::invalid_argument("M/M/1 rates must be positive");
+}
+
+double
+Mm1::responseTimePdf(double t) const
+{
+    if (!stable())
+        throw std::logic_error("unstable queue has no response PDF");
+    const double rate = mu_ - lambda_;
+    return t < 0.0 ? 0.0 : rate * std::exp(-rate * t);
+}
+
+double
+Mm1::responseTimeCdf(double t) const
+{
+    if (!stable())
+        throw std::logic_error("unstable queue has no response CDF");
+    const double rate = mu_ - lambda_;
+    return t < 0.0 ? 0.0 : 1.0 - std::exp(-rate * t);
+}
+
+double
+Mm1::meanResponseTime() const
+{
+    if (!stable())
+        throw std::logic_error("unstable queue");
+    return 1.0 / (mu_ - lambda_);
+}
+
+double
+Mm1::percentileLatency(double p) const
+{
+    if (p <= 0.0 || p >= 1.0)
+        throw std::invalid_argument("percentile must be in (0, 1)");
+    if (!stable())
+        throw std::logic_error("unstable queue");
+    return -std::log(1.0 - p) / (mu_ - lambda_);
+}
+
+double
+Mm1::degradedPercentileLatency(double p, double deg) const
+{
+    if (p <= 0.0 || p >= 1.0)
+        throw std::invalid_argument("percentile must be in (0, 1)");
+    if (deg < 0.0 || deg >= 1.0)
+        throw std::invalid_argument("degradation must be in [0, 1)");
+    const double mu_prime = (1.0 - deg) * mu_;
+    if (mu_prime <= lambda_)
+        return std::numeric_limits<double>::infinity();
+    return -std::log(1.0 - p) / (mu_prime - lambda_);
+}
+
+} // namespace smite::queueing

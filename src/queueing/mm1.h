@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Closed-form FCFS M/M/1 queueing model (paper Section III-C3,
+ * Equations 4-6).
+ *
+ * The paper models each worker thread of a latency-sensitive service
+ * as an independent single-server queue: Poisson arrivals at rate
+ * lambda, exponential service at rate mu. Response time (queueing +
+ * service) is then exponential with rate (mu - lambda), giving a
+ * closed-form percentile latency. Co-location degrades the service
+ * rate to mu' = (1 - Deg) * mu (Equation 5).
+ */
+
+#ifndef SMITE_QUEUEING_MM1_H
+#define SMITE_QUEUEING_MM1_H
+
+namespace smite::queueing {
+
+/**
+ * An M/M/1 queue with fixed arrival and service rates.
+ */
+class Mm1
+{
+  public:
+    /**
+     * @param lambda mean arrival rate (requests/s)
+     * @param mu mean service rate (requests/s)
+     * @throws std::invalid_argument for non-positive rates
+     */
+    Mm1(double lambda, double mu);
+
+    /** Offered load rho = lambda / mu. */
+    double utilization() const { return lambda_ / mu_; }
+
+    /** Is the queue stable (lambda < mu)? */
+    bool stable() const { return lambda_ < mu_; }
+
+    /**
+     * Response-time probability density
+     * f(t) = (mu - lambda) e^{-(mu - lambda) t}   (Equation 4).
+     * Requires stability.
+     */
+    double responseTimePdf(double t) const;
+
+    /** Response-time CDF F(t) = 1 - e^{-(mu - lambda) t}. */
+    double responseTimeCdf(double t) const;
+
+    /** Mean response time 1 / (mu - lambda). Requires stability. */
+    double meanResponseTime() const;
+
+    /**
+     * p-th percentile response time
+     * t_p = -ln(1 - p) / (mu - lambda). Requires stability.
+     * @param p percentile in (0, 1), e.g. 0.90
+     */
+    double percentileLatency(double p) const;
+
+    /**
+     * Percentile latency after a throughput degradation
+     * (Equation 6): t_p = -ln(1-p) / ((1 - deg) mu - lambda).
+     *
+     * @param deg fractional service-rate degradation in [0, 1)
+     * @return the degraded percentile latency; +inf if the degraded
+     *         queue is unstable ((1-deg) mu <= lambda)
+     */
+    double degradedPercentileLatency(double p, double deg) const;
+
+    /** Arrival rate lambda. */
+    double lambda() const { return lambda_; }
+
+    /** Service rate mu. */
+    double mu() const { return mu_; }
+
+  private:
+    double lambda_;
+    double mu_;
+};
+
+} // namespace smite::queueing
+
+#endif // SMITE_QUEUEING_MM1_H

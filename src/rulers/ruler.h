@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Rulers: the paper's carefully designed software stressors
+ * (Section III-B1, Figure 9).
+ *
+ * Each Ruler maximizes pressure on exactly one sharing dimension
+ * while minimizing pressure on all others:
+ *
+ *  - FP_MUL / FP_ADD / FP_SHF / INT_ADD rulers issue long
+ *    dependence-free runs of one port-specific operation (the
+ *    unrolled mulps/addps/shufps/addl loops of Figure 9a-d);
+ *  - the L1/L2 cache ruler increments random elements of a working
+ *    set indexed by a linear-feedback shift register (Figure 9e);
+ *  - the L3 cache ruler walks two half-footprint chunks with a
+ *    64-byte stride (Figure 9f).
+ *
+ * A Ruler's *intensity* is its duty cycle for functional-unit rulers
+ * and its working-set size for memory rulers; both relationships to
+ * the induced interference are designed to be (near-)linear so a
+ * sensitivity curve needs only its endpoints.
+ */
+
+#ifndef SMITE_RULERS_RULER_H
+#define SMITE_RULERS_RULER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/uop.h"
+
+namespace smite::rulers {
+
+/** The seven decoupled sharing dimensions of the paper. */
+enum class Dimension {
+    kFpMul,   ///< port 0 floating point multiplier
+    kFpAdd,   ///< port 1 floating point adder
+    kFpShf,   ///< port 5 shuffle unit
+    kIntAdd,  ///< integer ALUs across ports 0, 1, 5
+    kL1,      ///< L1 data cache capacity
+    kL2,      ///< L2 cache capacity
+    kL3,      ///< shared L3 capacity (and memory bandwidth)
+};
+
+/** Number of sharing dimensions. */
+inline constexpr int kNumDimensions = 7;
+
+/** All dimensions in index order. */
+inline constexpr Dimension kAllDimensions[kNumDimensions] = {
+    Dimension::kFpMul, Dimension::kFpAdd, Dimension::kFpShf,
+    Dimension::kIntAdd, Dimension::kL1, Dimension::kL2, Dimension::kL3,
+};
+
+/** Dimension -> dense index. */
+constexpr int
+dimensionIndex(Dimension dim)
+{
+    return static_cast<int>(dim);
+}
+
+/** Human-readable dimension name. */
+constexpr std::string_view
+dimensionName(Dimension dim)
+{
+    switch (dim) {
+      case Dimension::kFpMul:  return "FP_MUL(P0)";
+      case Dimension::kFpAdd:  return "FP_ADD(P1)";
+      case Dimension::kFpShf:  return "FP_SHF(P5)";
+      case Dimension::kIntAdd: return "INT_ADD(P015)";
+      case Dimension::kL1:     return "L1";
+      case Dimension::kL2:     return "L2";
+      case Dimension::kL3:     return "L3";
+    }
+    return "?";
+}
+
+/** Is this a functional-unit dimension (vs a memory dimension)? */
+constexpr bool
+isFunctionalUnit(Dimension dim)
+{
+    return dim == Dimension::kFpMul || dim == Dimension::kFpAdd ||
+           dim == Dimension::kFpShf || dim == Dimension::kIntAdd;
+}
+
+/**
+ * One stressor instance: a sharing dimension plus an intensity, able
+ * to mint fresh deterministic uop sources for co-location runs.
+ */
+class Ruler
+{
+  public:
+    /**
+     * Build a functional-unit ruler.
+     * @param dim one of the four FU dimensions
+     * @param duty_cycle fraction of issue slots carrying the target
+     *        op (1.0 = maximum pressure)
+     */
+    static Ruler functionalUnit(Dimension dim, double duty_cycle = 1.0);
+
+    /**
+     * Build a memory ruler.
+     * @param dim kL1, kL2 or kL3
+     * @param working_set footprint in bytes (the paper sizes these to
+     *        the capacity of the targeted cache level)
+     */
+    static Ruler memory(Dimension dim, std::uint64_t working_set);
+
+    /** Dimension this ruler stresses. */
+    Dimension dimension() const { return dim_; }
+
+    /** Duty cycle (FU rulers) in [0, 1]. */
+    double dutyCycle() const { return dutyCycle_; }
+
+    /** Working set in bytes (memory rulers). */
+    std::uint64_t workingSet() const { return workingSet_; }
+
+    /** Descriptive name, e.g. "ruler:FP_ADD(P1)". */
+    const std::string &name() const { return name_; }
+
+    /** Mint a fresh deterministic uop source for a run. */
+    std::unique_ptr<sim::UopSource> makeSource() const;
+
+  private:
+    Ruler() = default;
+
+    Dimension dim_ = Dimension::kFpMul;
+    double dutyCycle_ = 1.0;
+    std::uint64_t workingSet_ = 0;
+    std::string name_;
+};
+
+/**
+ * The default seven-ruler suite for a machine: full-intensity FU
+ * rulers plus memory rulers sized to the machine's L1D, L2 and L3.
+ */
+std::vector<Ruler> defaultSuite(const sim::MachineConfig &config);
+
+} // namespace smite::rulers
+
+#endif // SMITE_RULERS_RULER_H

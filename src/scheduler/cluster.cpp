@@ -1,0 +1,143 @@
+#include "scheduler/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/rng.h"
+
+namespace smite::scheduler {
+
+Cluster::Cluster(std::vector<Pairing> pairings,
+                 std::vector<std::string> latencyApps, int serversPerApp,
+                 int latencyThreads, int contextsPerServer,
+                 std::uint64_t seed)
+    : pairings_(std::move(pairings)),
+      latencyApps_(std::move(latencyApps)),
+      latencyThreads_(latencyThreads),
+      contextsPerServer_(contextsPerServer)
+{
+    if (pairings_.empty() || latencyApps_.empty() || serversPerApp <= 0)
+        throw std::invalid_argument("empty cluster configuration");
+    maxInstances_ = static_cast<int>(pairings_.front().byInstances.size());
+    for (const Pairing &p : pairings_) {
+        if (static_cast<int>(p.byInstances.size()) != maxInstances_)
+            throw std::invalid_argument("ragged pairing tables");
+    }
+
+    // Each server gets a random batch candidate among the pairings
+    // of its latency application.
+    workload::Rng rng(seed);
+    for (const std::string &app : latencyApps_) {
+        std::vector<int> candidates;
+        for (size_t i = 0; i < pairings_.size(); ++i) {
+            if (pairings_[i].latencyApp == app)
+                candidates.push_back(static_cast<int>(i));
+        }
+        if (candidates.empty()) {
+            throw std::invalid_argument(
+                "no pairings for latency app " + app);
+        }
+        for (int s = 0; s < serversPerApp; ++s) {
+            assignment_.push_back(ServerSlot{
+                candidates[rng.nextBelow(candidates.size())]});
+        }
+    }
+}
+
+PolicyResult
+Cluster::finish(const std::string &name, double qos_target,
+                const std::vector<int> &instances) const
+{
+    PolicyResult result;
+    result.policy = name;
+    result.qosTarget = qos_target;
+    result.servers = servers();
+    result.contextsPerServer = contextsPerServer_;
+    result.latencyThreads = latencyThreads_;
+
+    for (size_t s = 0; s < assignment_.size(); ++s) {
+        const int k = instances[s];
+        if (k <= 0)
+            continue;
+        const Pairing &pairing = pairings_[assignment_[s].pairing];
+        const double actual = pairing.byInstances[k - 1].actualQos;
+        ++result.coLocatedServers;
+        result.totalInstances += k;
+        if (actual < qos_target) {
+            ++result.violatedServers;
+            const double magnitude =
+                latencyOvershootNorm_
+                    ? qos_target / std::max(actual, 1e-9) - 1.0
+                    : (qos_target - actual) / qos_target;
+            result.sumViolation += magnitude;
+            result.maxViolation =
+                std::max(result.maxViolation, magnitude);
+        }
+    }
+    return result;
+}
+
+PolicyResult
+Cluster::runPredictedPolicy(double qos_target,
+                            const std::string &name) const
+{
+    std::vector<int> instances(assignment_.size(), 0);
+    for (size_t s = 0; s < assignment_.size(); ++s) {
+        const Pairing &pairing = pairings_[assignment_[s].pairing];
+        for (int k = maxInstances_; k >= 1; --k) {
+            if (pairing.byInstances[k - 1].predictedQos >= qos_target) {
+                instances[s] = k;
+                break;
+            }
+        }
+    }
+    return finish(name, qos_target, instances);
+}
+
+PolicyResult
+Cluster::runOraclePolicy(double qos_target) const
+{
+    std::vector<int> instances(assignment_.size(), 0);
+    for (size_t s = 0; s < assignment_.size(); ++s) {
+        const Pairing &pairing = pairings_[assignment_[s].pairing];
+        for (int k = maxInstances_; k >= 1; --k) {
+            if (pairing.byInstances[k - 1].actualQos >= qos_target) {
+                instances[s] = k;
+                break;
+            }
+        }
+    }
+    return finish("Oracle", qos_target, instances);
+}
+
+PolicyResult
+Cluster::runRandomPolicy(double qos_target, double match_instances,
+                         std::uint64_t seed) const
+{
+    // Draw uniform instance counts, then nudge random servers until
+    // the total matches the utilization gain we must reproduce.
+    workload::Rng rng(seed);
+    std::vector<int> instances(assignment_.size(), 0);
+    std::int64_t total = 0;
+    for (size_t s = 0; s < assignment_.size(); ++s) {
+        instances[s] =
+            static_cast<int>(rng.nextBelow(maxInstances_ + 1));
+        total += instances[s];
+    }
+    const auto want = static_cast<std::int64_t>(match_instances);
+    std::uint64_t guard = 0;
+    const std::uint64_t guard_limit = 100ull * assignment_.size();
+    while (total != want && guard++ < guard_limit) {
+        const size_t s = rng.nextBelow(assignment_.size());
+        if (total < want && instances[s] < maxInstances_) {
+            ++instances[s];
+            ++total;
+        } else if (total > want && instances[s] > 0) {
+            --instances[s];
+            --total;
+        }
+    }
+    return finish("Random", qos_target, instances);
+}
+
+} // namespace smite::scheduler

@@ -1,0 +1,96 @@
+#include "sim/cache.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace smite::sim {
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : config_(config)
+{
+    if (config.assoc <= 0)
+        throw std::invalid_argument("cache assoc must be positive");
+    const std::uint64_t line_bytes = kLineBytes;
+    const std::uint64_t lines = config.sizeBytes / line_bytes;
+    if (lines == 0 || lines % config.assoc != 0) {
+        throw std::invalid_argument(
+            "cache size must be a positive multiple of assoc * 64B");
+    }
+    numSets_ = lines / config.assoc;
+    lines_.resize(lines);
+}
+
+SetAssocCache::AccessResult
+SetAssocCache::access(Addr line, bool write)
+{
+    AccessResult result;
+    const std::uint64_t set = setIndex(line);
+    Line *base = &lines_[set * config_.assoc];
+    ++useClock_;
+
+    Line *victim = base;
+    for (int w = 0; w < config_.assoc; ++w) {
+        Line &entry = base[w];
+        if (entry.tag == line) {
+            entry.lastUse = useClock_;
+            entry.dirty = entry.dirty || write;
+            result.hit = true;
+            return result;
+        }
+        if (entry.tag == kNoTag) {
+            // Prefer empty ways; an empty way always loses to another
+            // empty way found earlier, which is fine.
+            if (victim->tag != kNoTag || victim->lastUse > entry.lastUse)
+                victim = &entry;
+        } else if (victim->tag != kNoTag &&
+                   entry.lastUse < victim->lastUse) {
+            victim = &entry;
+        }
+    }
+
+    if (victim->tag != kNoTag) {
+        result.evictedValid = true;
+        result.evictedDirty = victim->dirty;
+        result.evictedLine = victim->tag;
+    }
+    victim->tag = line;
+    victim->lastUse = useClock_;
+    victim->dirty = write;
+    return result;
+}
+
+bool
+SetAssocCache::probe(Addr line) const
+{
+    const std::uint64_t set = setIndex(line);
+    const Line *base = &lines_[set * config_.assoc];
+    for (int w = 0; w < config_.assoc; ++w) {
+        if (base[w].tag == line)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(Addr line)
+{
+    const std::uint64_t set = setIndex(line);
+    Line *base = &lines_[set * config_.assoc];
+    for (int w = 0; w < config_.assoc; ++w) {
+        if (base[w].tag == line) {
+            base[w] = Line{};
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (Line &entry : lines_)
+        entry = Line{};
+    useClock_ = 0;
+}
+
+} // namespace smite::sim

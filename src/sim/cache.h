@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Set-associative write-back LRU cache model.
+ *
+ * The model tracks tags, LRU ordering and dirty bits only (no data).
+ * It is used for the private L1I/L1D/L2 caches of each core and for
+ * the shared L3. SMT capacity contention arises naturally because the
+ * two hardware contexts of a core probe the same L1/L2 arrays with
+ * disjoint address spaces.
+ */
+
+#ifndef SMITE_SIM_CACHE_H
+#define SMITE_SIM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace smite::sim {
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig {
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    int assoc = 8;
+    Cycle hitLatency = 4;
+};
+
+/**
+ * A single set-associative LRU cache array.
+ *
+ * Addresses are line-granular (see lineAddr()). The cache allocates on
+ * both read and write misses (write-allocate) and reports dirty
+ * victims so the caller can model write-back traffic.
+ */
+class SetAssocCache
+{
+  public:
+    /** Outcome of an access(). */
+    struct AccessResult {
+        bool hit = false;
+        bool evictedValid = false;  ///< a valid victim was replaced
+        bool evictedDirty = false;  ///< ... and it was dirty
+        Addr evictedLine = 0;       ///< line address of the victim
+    };
+
+    explicit SetAssocCache(const CacheConfig &config);
+
+    /**
+     * Look up (and on miss, allocate) a line.
+     *
+     * @param line line-granular address (addr / 64)
+     * @param write true for stores (marks the line dirty)
+     * @return hit/miss and any dirty eviction
+     */
+    AccessResult access(Addr line, bool write);
+
+    /** Non-mutating lookup: is the line present? */
+    bool probe(Addr line) const;
+
+    /**
+     * Drop one line if present (back-invalidation from an inclusive
+     * outer level). The dirty bit is discarded with it; the write-
+     * back traffic is accounted by the caller.
+     * @return true if the line was present
+     */
+    bool invalidate(Addr line);
+
+    /** Invalidate all lines and reset LRU state. */
+    void flush();
+
+    /** Hit latency of this level. */
+    Cycle hitLatency() const { return config_.hitLatency; }
+
+    /** Number of sets in the array. */
+    std::uint64_t numSets() const { return numSets_; }
+
+    /** Configured geometry. */
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line {
+        Addr tag = kNoTag;
+        std::uint64_t lastUse = 0;
+        bool dirty = false;
+    };
+
+    static constexpr Addr kNoTag = ~Addr{0};
+
+    std::uint64_t setIndex(Addr line) const { return line % numSets_; }
+
+    CacheConfig config_;
+    std::uint64_t numSets_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Line> lines_;  ///< numSets_ * assoc, set-major
+};
+
+} // namespace smite::sim
+
+#endif // SMITE_SIM_CACHE_H

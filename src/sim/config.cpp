@@ -1,0 +1,32 @@
+#include "sim/config.h"
+
+namespace smite::sim {
+
+MachineConfig
+MachineConfig::sandyBridgeEN()
+{
+    MachineConfig config;
+    config.name = "Intel Xeon E5-2420 @ 1.90GHz";
+    config.microarchitecture = "Sandy Bridge-EN";
+    config.ghz = 1.9;
+    config.numCores = 6;
+    config.l3 = CacheConfig{"L3", 15 * 1024 * 1024, 20, 30};
+    // Server part: three DDR3 channels give roughly 3x the desktop
+    // bandwidth, which the 12-context co-location experiments need.
+    config.dram = DramConfig{160, 4};
+    return config;
+}
+
+MachineConfig
+MachineConfig::ivyBridge()
+{
+    MachineConfig config;
+    config.name = "Intel i7-3770 @ 3.40GHz";
+    config.microarchitecture = "Ivy Bridge";
+    config.ghz = 3.4;
+    config.numCores = 4;
+    config.l3 = CacheConfig{"L3", 8 * 1024 * 1024, 16, 30};
+    return config;
+}
+
+} // namespace smite::sim

@@ -1,0 +1,238 @@
+#include "sim/context.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace smite::sim {
+
+HardwareContext::HardwareContext(const CoreConfig &core_config,
+                                 const TlbConfig &itlb_config,
+                                 const TlbConfig &dtlb_config)
+    : coreConfig_(core_config), itlb_(itlb_config), dtlb_(dtlb_config)
+{
+    // Distances reach up to 63 uops behind any in-window uop, so the
+    // ring must cover window + 63 live seq slots.
+    if (core_config.windowSize + 63 >= kDepRing) {
+        throw std::invalid_argument(
+            "window size too large for the dependence ring");
+    }
+    windowCap_ = core_config.windowSize;
+    window_.resize(windowCap_);
+    mshrBusyUntil_.assign(core_config.mshrs, 0);
+    completion_.fill(0);
+}
+
+void
+HardwareContext::bind(UopSource *source, Addr addr_base, Addr pc_base)
+{
+    source_ = source;
+    addrBase_ = addr_base;
+    pcBase_ = pc_base;
+    if (source_ != nullptr)
+        source_->reset();
+    head_ = 0;
+    count_ = 0;
+    nextSeq_ = 0;
+    completion_.fill(0);
+    fetchStallUntil_ = 0;
+    waitingBranch_ = false;
+    lastFetchLine_ = ~Addr{0};
+    mshrBusyUntil_.assign(coreConfig_.mshrs, 0);
+    counters_ = CounterBlock{};
+}
+
+bool
+HardwareContext::operandsReady(const Slot &slot, Cycle now) const
+{
+    const Uop &uop = slot.uop;
+    if (uop.srcDist1 != 0) {
+        const Cycle done =
+            completion_[(slot.seq - uop.srcDist1) % kDepRing];
+        if (done > now)
+            return false;
+    }
+    if (uop.srcDist2 != 0) {
+        const Cycle done =
+            completion_[(slot.seq - uop.srcDist2) % kDepRing];
+        if (done > now)
+            return false;
+    }
+    return true;
+}
+
+int
+HardwareContext::freeMshr(Cycle now) const
+{
+    for (size_t i = 0; i < mshrBusyUntil_.size(); ++i) {
+        if (mshrBusyUntil_[i] <= now)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+HardwareContext::pickPort(unsigned mask, unsigned port_busy)
+{
+    const unsigned available = mask & ~port_busy;
+    if (available == 0)
+        return -1;
+    for (int k = 0; k < kNumPorts; ++k) {
+        const int port = (portRotor_ + k) % kNumPorts;
+        if (available & (1u << port)) {
+            portRotor_ = (port + 1) % kNumPorts;
+            return port;
+        }
+    }
+    return -1;
+}
+
+int
+HardwareContext::fetch(Cycle now, int budget, int core, MemorySystem &mem)
+{
+    if (!active())
+        return 0;
+    if (waitingBranch_ || fetchStallUntil_ > now) {
+        ++counters_.fetchStallCycles;
+        return 0;
+    }
+
+    int fetched = 0;
+    while (fetched < budget && count_ < windowCap_) {
+        Uop uop = source_->next();
+        uop.pc += pcBase_;
+        if (uop.type == UopType::kLoad || uop.type == UopType::kStore)
+            uop.addr += addrBase_;
+
+        // Instruction supply: probe the L1I once per new line. A miss
+        // stalls subsequent fetch for the fill latency.
+        const Addr fetch_line = lineAddr(uop.pc);
+        if (fetch_line != lastFetchLine_) {
+            lastFetchLine_ = fetch_line;
+            const Cycle lat =
+                mem.instrAccess(core, uop.pc, now, counters_, itlb_);
+            if (lat > mem.l1iHitLatency())
+                fetchStallUntil_ = now + lat;
+        }
+
+        const std::uint64_t seq = nextSeq_++;
+        completion_[seq % kDepRing] = kNeverCycle;
+        Slot &slot = window_[(head_ + count_) % windowCap_];
+        slot.uop = uop;
+        slot.seq = seq;
+        slot.issued = false;
+        ++count_;
+        ++fetched;
+
+        if (uop.type == UopType::kBranch) {
+            ++counters_.branches;
+            if (uop.mispredict) {
+                ++counters_.branchMispredicts;
+                // Fetch must stop until this branch resolves; the
+                // redirect penalty is added when it issues.
+                waitingBranch_ = true;
+                waitingBranchSeq_ = seq;
+                break;
+            }
+        }
+        if (fetchStallUntil_ > now)
+            break;  // the line miss above blocks further fetch
+    }
+    return fetched;
+}
+
+int
+HardwareContext::issue(Cycle now, unsigned &port_busy, int &core_budget,
+                       int core, MemorySystem &mem)
+{
+    if (!active() || count_ == 0)
+        return 0;
+
+    int issued = 0;
+    int examined = 0;
+    for (int i = 0;
+         i < count_ && issued < coreConfig_.issuePerContext &&
+         core_budget > 0 && examined < coreConfig_.schedDepth;
+         ++i) {
+        Slot &slot = slotAt(i);
+        if (slot.issued)
+            continue;
+        ++examined;  // scheduler only sees the oldest unissued uops
+        if (!operandsReady(slot, now))
+            continue;
+
+        const Uop &uop = slot.uop;
+        Cycle finish;
+        int port = -1;
+
+        switch (uop.type) {
+          case UopType::kLoad: {
+            port = pickPort(portMask(UopType::kLoad), port_busy);
+            if (port < 0)
+                continue;
+            const int mshr = freeMshr(now);
+            if (mshr < 0)
+                continue;  // no miss slot; try younger non-loads
+            const Cycle lat = mem.dataAccess(core, false, uop.addr, now,
+                                             counters_, dtlb_);
+            ++counters_.loads;
+            finish = now + lat;
+            if (lat > mem.l1dHitLatency())
+                mshrBusyUntil_[mshr] = finish;
+            break;
+          }
+          case UopType::kStore: {
+            port = pickPort(portMask(UopType::kStore), port_busy);
+            if (port < 0)
+                continue;
+            const int mshr = freeMshr(now);
+            if (mshr < 0)
+                continue;  // store buffer full of outstanding misses
+            // Stores drain through a store buffer: program progress
+            // does not wait for the cache update, but a missing
+            // store holds a miss slot until its line arrives, which
+            // flow-controls the DRAM traffic stores can generate.
+            const Cycle lat = mem.dataAccess(core, true, uop.addr, now,
+                                             counters_, dtlb_);
+            ++counters_.stores;
+            finish = now + execLatency(UopType::kStore);
+            if (lat > mem.l1dHitLatency())
+                mshrBusyUntil_[mshr] = now + lat;
+            break;
+          }
+          case UopType::kNop:
+            finish = now + 1;
+            break;
+          default: {
+            port = pickPort(portMask(uop.type), port_busy);
+            if (port < 0)
+                continue;
+            finish = now + execLatency(uop.type);
+            break;
+          }
+        }
+
+        if (port >= 0) {
+            port_busy |= 1u << port;
+            ++counters_.portIssued[port];
+        }
+        completion_[slot.seq % kDepRing] = finish;
+        slot.issued = true;
+        ++counters_.uops;
+        ++issued;
+        --core_budget;
+
+        if (waitingBranch_ && slot.seq == waitingBranchSeq_) {
+            waitingBranch_ = false;
+            fetchStallUntil_ = finish + coreConfig_.redirectPenalty;
+        }
+    }
+
+    // In-order retirement of issued slots frees window capacity.
+    while (count_ > 0 && window_[head_].issued) {
+        head_ = (head_ + 1) % windowCap_;
+        --count_;
+    }
+    return issued;
+}
+
+} // namespace smite::sim

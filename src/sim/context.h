@@ -1,0 +1,145 @@
+/**
+ * @file
+ * One SMT hardware context: private front end, in-flight uop window,
+ * register dependence scoreboard, MSHRs and TLBs.
+ *
+ * Execution model (restricted out-of-order): every cycle the context
+ * fetches uops from its UopSource into a window, then issues ready
+ * uops oldest-first subject to (a) register dependences, (b) issue
+ * port availability shared with the sibling context, (c) per-context
+ * and per-core issue width, and (d) MSHR availability for loads that
+ * miss. Uops retire (free their window slot) in program order once
+ * issued. This is the cheapest model in which port contention, ILP
+ * and memory-level parallelism all emerge naturally — exactly the
+ * effects the paper's Rulers measure.
+ */
+
+#ifndef SMITE_SIM_CONTEXT_H
+#define SMITE_SIM_CONTEXT_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/counters.h"
+#include "sim/memory_system.h"
+#include "sim/tlb.h"
+#include "sim/types.h"
+#include "sim/uop.h"
+
+namespace smite::sim {
+
+/**
+ * One hardware thread of an SMT core.
+ */
+class HardwareContext
+{
+  public:
+    /**
+     * Size of the dependence scoreboard ring. The window size plus
+     * the maximum dependence distance (63) must stay below this.
+     */
+    static constexpr int kDepRing = 256;
+
+    HardwareContext(const CoreConfig &core_config,
+                    const TlbConfig &itlb_config,
+                    const TlbConfig &dtlb_config);
+
+    /**
+     * Attach a uop stream and give the context a private address
+     * space (all data/instruction addresses are offset so distinct
+     * contexts contend for cache capacity, never share lines).
+     *
+     * @param source stream to execute, or nullptr to idle the context
+     * @param addr_base offset added to every data address
+     * @param pc_base offset added to every instruction address
+     */
+    void bind(UopSource *source, Addr addr_base, Addr pc_base);
+
+    /** Is a workload bound to this context? */
+    bool active() const { return source_ != nullptr; }
+
+    /**
+     * Fetch stage for this cycle.
+     *
+     * @param now current cycle
+     * @param budget remaining core fetch slots this cycle
+     * @param core owning core's index (for cache routing)
+     * @param mem machine memory system
+     * @return number of uops fetched (consumed from @p budget)
+     */
+    int fetch(Cycle now, int budget, int core, MemorySystem &mem);
+
+    /**
+     * Issue stage for this cycle.
+     *
+     * @param now current cycle
+     * @param port_busy in/out bitmask of issue ports taken this cycle
+     *        (shared between the sibling contexts of a core)
+     * @param core_budget in/out remaining core-wide dispatch slots
+     * @param core owning core's index
+     * @param mem machine memory system
+     * @return number of uops issued
+     */
+    int issue(Cycle now, unsigned &port_busy, int &core_budget, int core,
+              MemorySystem &mem);
+
+    /** Advance per-cycle accounting (call once per tick when active). */
+    void tickAccounting() { ++counters_.cycles; }
+
+    /** Uops currently in the window (ICOUNT fetch arbitration). */
+    int inFlight() const { return count_; }
+
+    /** Counter block (mutable: memory system accounts into it). */
+    CounterBlock &counters() { return counters_; }
+    const CounterBlock &counters() const { return counters_; }
+
+  private:
+    struct Slot {
+        Uop uop;
+        std::uint64_t seq = 0;
+        bool issued = false;
+    };
+
+    Slot &slotAt(int i) { return window_[(head_ + i) % windowCap_]; }
+
+    /** Are the register operands of @p slot available at @p now? */
+    bool operandsReady(const Slot &slot, Cycle now) const;
+
+    /** Find a free MSHR, or -1. */
+    int freeMshr(Cycle now) const;
+
+    /** Pick a free port from @p mask honouring @p port_busy, or -1. */
+    int pickPort(unsigned mask, unsigned port_busy);
+
+    CoreConfig coreConfig_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    CounterBlock counters_;
+
+    UopSource *source_ = nullptr;
+    Addr addrBase_ = 0;
+    Addr pcBase_ = 0;
+
+    std::vector<Slot> window_;
+    int windowCap_ = 0;
+    int head_ = 0;
+    int count_ = 0;
+
+    /** Completion cycle per seq (mod kDepRing); kNeverCycle = pending. */
+    std::array<Cycle, kDepRing> completion_{};
+    std::uint64_t nextSeq_ = 0;
+
+    Cycle fetchStallUntil_ = 0;
+    bool waitingBranch_ = false;       ///< fetch blocked on mispredict
+    std::uint64_t waitingBranchSeq_ = 0;
+
+    std::vector<Cycle> mshrBusyUntil_;
+    Addr lastFetchLine_ = ~Addr{0};
+    int portRotor_ = 0;  ///< rotates port preference for multi-port uops
+};
+
+} // namespace smite::sim
+
+#endif // SMITE_SIM_CONTEXT_H

@@ -1,0 +1,203 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace smite::sim {
+
+namespace {
+
+/** Base of the data address slice of placement @p i. */
+constexpr Addr
+dataBase(size_t i)
+{
+    return (2 * i + 1) * (Addr{1} << 40);
+}
+
+/** Base of the code address slice of placement @p i. */
+constexpr Addr
+codeBase(size_t i)
+{
+    return (2 * i + 2) * (Addr{1} << 40);
+}
+
+/**
+ * Functionally install the placements' hot data sets into the shared
+ * L3, splitting the capacity between co-runners in proportion to
+ * @p weights (water-filling, capped at each stream's hot footprint).
+ * Insertion is chunk-interleaved so co-runners' lines mix the way a
+ * shared LRU cache mixes them.
+ */
+void
+prewarmData(MemorySystem &mem, const MachineConfig &config,
+            const std::vector<Placement> &placements,
+            const std::vector<double> &weights)
+{
+    const std::uint64_t l3_lines = config.l3.sizeBytes / kLineBytes;
+
+    std::vector<std::uint64_t> want(placements.size());
+    for (size_t i = 0; i < placements.size(); ++i)
+        want[i] = placements[i].source->hotFootprint() / kLineBytes;
+
+    // Weighted water-fill of the L3 capacity.
+    std::vector<std::uint64_t> budget(placements.size(), 0);
+    std::uint64_t pool = l3_lines;
+    bool grew = true;
+    while (grew && pool > 0) {
+        grew = false;
+        double weight_sum = 0.0;
+        for (size_t i = 0; i < placements.size(); ++i) {
+            if (budget[i] < want[i])
+                weight_sum += weights[i];
+        }
+        if (weight_sum <= 0.0)
+            break;
+        const std::uint64_t round_pool = pool;
+        for (size_t i = 0; i < placements.size() && pool > 0; ++i) {
+            if (budget[i] >= want[i])
+                continue;
+            const auto share = static_cast<std::uint64_t>(
+                static_cast<double>(round_pool) * weights[i] /
+                weight_sum);
+            const std::uint64_t grant =
+                std::min({std::max<std::uint64_t>(1, share),
+                          want[i] - budget[i], pool});
+            if (grant > 0) {
+                budget[i] += grant;
+                pool -= grant;
+                grew = true;
+            }
+        }
+    }
+
+    std::vector<Addr> cursor(placements.size(), 0);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (size_t i = 0; i < placements.size(); ++i) {
+            for (int k = 0; k < 64 && budget[i] > 0; ++k) {
+                mem.prewarmData(dataBase(i) + cursor[i]);
+                cursor[i] += kLineBytes;
+                --budget[i];
+                progress = true;
+            }
+        }
+    }
+}
+
+/** Install the placements' program text (resident long before a run). */
+void
+prewarmCode(MemorySystem &mem, const MachineConfig &config,
+            const std::vector<Placement> &placements)
+{
+    for (size_t i = 0; i < placements.size(); ++i) {
+        const Addr code = std::min<Addr>(
+            placements[i].source->codeFootprint(),
+            config.l3.sizeBytes / 4);
+        for (Addr off = 0; off < code; off += kLineBytes)
+            mem.prewarmData(codeBase(i) + off);
+    }
+}
+
+} // namespace
+
+std::vector<CounterBlock>
+Machine::run(const std::vector<Placement> &placements, Cycle warmup,
+             Cycle measure) const
+{
+    MemorySystem mem(config_);
+    std::vector<SmtCore> cores;
+    cores.reserve(config_.numCores);
+    for (int c = 0; c < config_.numCores; ++c)
+        cores.emplace_back(config_, c);
+
+    for (size_t i = 0; i < placements.size(); ++i) {
+        const Placement &p = placements[i];
+        if (p.core < 0 || p.core >= config_.numCores ||
+            p.context < 0 || p.context >= config_.contextsPerCore ||
+            p.source == nullptr) {
+            throw std::invalid_argument("invalid placement");
+        }
+        // Give each context a private slice of the address space so
+        // co-runners contend for capacity, never share lines.
+        cores[p.core].context(p.context).bind(p.source, dataBase(i),
+                                              codeBase(i));
+    }
+
+    auto counters_of = [&](size_t i) -> const CounterBlock & {
+        const Placement &p = placements[i];
+        return cores[p.core].context(p.context).counters();
+    };
+    auto tick_for = [&](Cycle from, Cycle to) {
+        for (Cycle now = from; now < to; ++now) {
+            for (SmtCore &core : cores)
+                core.tick(now, mem);
+        }
+    };
+
+    // Pass 1: functional warming with statically estimated shared-
+    // cache claims, then half the warmup interval. Weights enter as
+    // square roots: under mixed LRU traffic a faster client gains
+    // occupancy sub-linearly (its own lines also age), so softening
+    // dominance matches observed shared-cache behaviour better than
+    // a winner-take-most split.
+    std::vector<double> weights(placements.size());
+    for (size_t i = 0; i < placements.size(); ++i) {
+        weights[i] =
+            std::sqrt(placements[i].source->residencyWeight());
+    }
+    prewarmData(mem, config_, placements, weights);
+    prewarmCode(mem, config_, placements);
+    const Cycle half_warmup = warmup / 2;
+    tick_for(0, half_warmup);
+
+    // Pass 2: under LRU, steady-state occupancy follows the achieved
+    // access *rate*, so re-balance the warm sets using the IPC each
+    // placement actually reached, then finish the warmup.
+    if (placements.size() > 1 && half_warmup > 0) {
+        for (size_t i = 0; i < placements.size(); ++i) {
+            const double ipc = counters_of(i).ipc();
+            weights[i] *= std::sqrt(std::max(ipc, 0.05));
+        }
+        prewarmData(mem, config_, placements, weights);
+        prewarmCode(mem, config_, placements);  // keep text resident
+    }
+    tick_for(half_warmup, warmup);
+
+    std::vector<CounterBlock> at_warmup(placements.size());
+    for (size_t i = 0; i < placements.size(); ++i)
+        at_warmup[i] = counters_of(i);
+
+    tick_for(warmup, warmup + measure);
+
+    std::vector<CounterBlock> results(placements.size());
+    for (size_t i = 0; i < placements.size(); ++i)
+        results[i] = counters_of(i) - at_warmup[i];
+    return results;
+}
+
+CounterBlock
+Machine::runSolo(UopSource &app, Cycle warmup, Cycle measure) const
+{
+    return run({Placement{0, 0, &app}}, warmup, measure).front();
+}
+
+std::vector<CounterBlock>
+Machine::runPairSmt(UopSource &app, UopSource &corunner, Cycle warmup,
+                    Cycle measure) const
+{
+    return run({Placement{0, 0, &app}, Placement{0, 1, &corunner}},
+               warmup, measure);
+}
+
+std::vector<CounterBlock>
+Machine::runPairCmp(UopSource &app, UopSource &corunner, Cycle warmup,
+                    Cycle measure) const
+{
+    return run({Placement{0, 0, &app}, Placement{1, 0, &corunner}},
+               warmup, measure);
+}
+
+} // namespace smite::sim

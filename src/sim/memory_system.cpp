@@ -1,0 +1,158 @@
+#include "sim/memory_system.h"
+
+namespace smite::sim {
+
+MemorySystem::MemorySystem(const MachineConfig &config)
+    : config_(config), l3_(config.l3), dram_(config.dram)
+{
+    cores_.reserve(config.numCores);
+    for (int c = 0; c < config.numCores; ++c) {
+        cores_.push_back(CoreCaches{SetAssocCache(config.l1i),
+                                    SetAssocCache(config.l1d),
+                                    SetAssocCache(config.l2)});
+    }
+}
+
+void
+MemorySystem::handleL3Eviction(const SetAssocCache::AccessResult &result,
+                               Cycle now)
+{
+    if (!result.evictedValid)
+        return;
+    if (result.evictedDirty)
+        dram_.writeback(now);
+    if (!config_.inclusiveL3)
+        return;
+    // Inclusion victims: the line leaves every private cache too;
+    // dirty private copies must drain to memory.
+    for (CoreCaches &caches : cores_) {
+        caches.l1i.invalidate(result.evictedLine);
+        if (caches.l1d.invalidate(result.evictedLine))
+            dram_.writeback(now);
+        if (caches.l2.invalidate(result.evictedLine))
+            dram_.writeback(now);
+    }
+}
+
+void
+MemorySystem::writebackFromL2(Addr line, Cycle now)
+{
+    const auto result = l3_.access(line, true);
+    if (!result.hit)
+        handleL3Eviction(result, now);
+}
+
+void
+MemorySystem::prefetchNextLine(int core, Addr line, Cycle now)
+{
+    const Addr next = line + 1;
+    CoreCaches &caches = cores_[core];
+    if (caches.l2.probe(next))
+        return;
+    // Pull the line toward the L2 in the background; nothing waits
+    // for it, but an uncached line consumes DRAM bandwidth.
+    const auto l3 = l3_.access(next, false);
+    if (!l3.hit) {
+        handleL3Eviction(l3, now);
+        dram_.writeback(now);  // bandwidth for the prefetch fill
+    }
+    const auto l2 = caches.l2.access(next, false);
+    if (l2.evictedDirty)
+        writebackFromL2(l2.evictedLine, now);
+}
+
+Cycle
+MemorySystem::dataAccess(int core, bool write, Addr addr, Cycle now,
+                         CounterBlock &ctr, Tlb &dtlb)
+{
+    Cycle penalty = 0;
+    if (!dtlb.access(pageAddr(addr))) {
+        penalty += dtlb.walkLatency();
+        if (write)
+            ++ctr.dtlbStoreMisses;
+        else
+            ++ctr.dtlbLoadMisses;
+    }
+
+    const Addr line = lineAddr(addr);
+    CoreCaches &caches = cores_[core];
+
+    const auto l1 = caches.l1d.access(line, write);
+    if (l1.hit) {
+        ++ctr.l1dHits;
+        return penalty + config_.l1d.hitLatency;
+    }
+    ++ctr.l1dMisses;
+    if (l1.evictedDirty) {
+        const auto wb = caches.l2.access(l1.evictedLine, true);
+        if (!wb.hit && wb.evictedDirty)
+            writebackFromL2(wb.evictedLine, now);
+    }
+
+    // Stream-confirmed next-line prefetch: only when the previous
+    // line is resident (an ascending access pattern), so random
+    // misses do not waste DRAM bandwidth on useless prefetches.
+    if (config_.l2NextLinePrefetch && line > 0 &&
+        caches.l2.probe(line - 1)) {
+        prefetchNextLine(core, line, now);
+    }
+
+    const auto l2 = caches.l2.access(line, false);
+    if (l2.hit) {
+        ++ctr.l2Hits;
+        return penalty + config_.l2.hitLatency;
+    }
+    ++ctr.l2Misses;
+    if (l2.evictedDirty)
+        writebackFromL2(l2.evictedLine, now);
+
+    const auto l3 = l3_.access(line, false);
+    if (l3.hit) {
+        ++ctr.l3Hits;
+        return penalty + config_.l3.hitLatency;
+    }
+    ++ctr.l3Misses;
+    handleL3Eviction(l3, now);
+
+    return penalty + config_.l3.hitLatency + dram_.access(now);
+}
+
+Cycle
+MemorySystem::instrAccess(int core, Addr pc, Cycle now, CounterBlock &ctr,
+                          Tlb &itlb)
+{
+    Cycle penalty = 0;
+    if (!itlb.access(pageAddr(pc))) {
+        penalty += itlb.walkLatency();
+        ++ctr.itlbMisses;
+    }
+
+    const Addr line = lineAddr(pc);
+    CoreCaches &caches = cores_[core];
+
+    const auto l1 = caches.l1i.access(line, false);
+    if (l1.hit)
+        return penalty + config_.l1i.hitLatency;
+    ++ctr.icacheMisses;
+
+    const auto l2 = caches.l2.access(line, false);
+    if (l2.hit) {
+        ++ctr.l2Hits;
+        return penalty + config_.l2.hitLatency;
+    }
+    ++ctr.l2Misses;
+    if (l2.evictedDirty)
+        writebackFromL2(l2.evictedLine, now);
+
+    const auto l3 = l3_.access(line, false);
+    if (l3.hit) {
+        ++ctr.l3Hits;
+        return penalty + config_.l3.hitLatency;
+    }
+    ++ctr.l3Misses;
+    handleL3Eviction(l3, now);
+
+    return penalty + config_.l3.hitLatency + dram_.access(now);
+}
+
+} // namespace smite::sim

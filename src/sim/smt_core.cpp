@@ -1,0 +1,50 @@
+#include "sim/smt_core.h"
+
+namespace smite::sim {
+
+SmtCore::SmtCore(const MachineConfig &config, int core_id)
+    : coreConfig_(config.core), coreId_(core_id)
+{
+    contexts_.reserve(config.contextsPerCore);
+    for (int i = 0; i < config.contextsPerCore; ++i)
+        contexts_.emplace_back(config.core, config.itlb, config.dtlb);
+}
+
+void
+SmtCore::tick(Cycle now, MemorySystem &mem)
+{
+    const int n = numContexts();
+    int first = static_cast<int>(now % n);
+    if (coreConfig_.fetchPolicy == FetchPolicy::kIcount) {
+        // ICOUNT: the context with the fewest in-flight uops fetches
+        // first (ties fall back to rotation).
+        for (int k = 0; k < n; ++k) {
+            if (contexts_[k].inFlight() <
+                contexts_[first].inFlight()) {
+                first = k;
+            }
+        }
+    }
+
+    // Front end: contexts share the fetch bandwidth.
+    int fetch_budget = coreConfig_.fetchWidth;
+    for (int k = 0; k < n && fetch_budget > 0; ++k) {
+        HardwareContext &ctx = contexts_[(first + k) % n];
+        fetch_budget -= ctx.fetch(now, fetch_budget, coreId_, mem);
+    }
+
+    // Issue: ports and core dispatch slots are shared; same rotation.
+    unsigned port_busy = 0;
+    int core_budget = coreConfig_.issuePerCore;
+    for (int k = 0; k < n && core_budget > 0; ++k) {
+        HardwareContext &ctx = contexts_[(first + k) % n];
+        ctx.issue(now, port_busy, core_budget, coreId_, mem);
+    }
+
+    for (HardwareContext &ctx : contexts_) {
+        if (ctx.active())
+            ctx.tickAccounting();
+    }
+}
+
+} // namespace smite::sim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SMT core: two (or more) hardware contexts sharing a front end and
+ * the six-port execution cluster of Figure 1.
+ */
+
+#ifndef SMITE_SIM_SMT_CORE_H
+#define SMITE_SIM_SMT_CORE_H
+
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/context.h"
+#include "sim/memory_system.h"
+#include "sim/types.h"
+
+namespace smite::sim {
+
+/**
+ * One physical core. The contexts share fetch bandwidth, dispatch
+ * bandwidth and issue ports; arbitration alternates priority between
+ * contexts each cycle (round-robin), which splits a contended
+ * resource roughly evenly — the behaviour commodity SMT exhibits.
+ */
+class SmtCore
+{
+  public:
+    SmtCore(const MachineConfig &config, int core_id);
+
+    /** Context accessor (0 .. contextsPerCore-1). */
+    HardwareContext &context(int i) { return contexts_[i]; }
+    const HardwareContext &context(int i) const { return contexts_[i]; }
+
+    /** Number of hardware contexts on this core. */
+    int numContexts() const { return static_cast<int>(contexts_.size()); }
+
+    /** Advance the core by one cycle. */
+    void tick(Cycle now, MemorySystem &mem);
+
+  private:
+    CoreConfig coreConfig_;
+    int coreId_;
+    std::vector<HardwareContext> contexts_;
+};
+
+} // namespace smite::sim
+
+#endif // SMITE_SIM_SMT_CORE_H

@@ -1,0 +1,41 @@
+#include "sim/tlb.h"
+
+#include <stdexcept>
+
+namespace smite::sim {
+
+Tlb::Tlb(const TlbConfig &config)
+    : config_(config)
+{
+    if (config.entries <= 0)
+        throw std::invalid_argument("TLB must have at least one entry");
+    entries_.resize(config.entries);
+}
+
+bool
+Tlb::access(Addr page)
+{
+    ++useClock_;
+    Entry *victim = &entries_[0];
+    for (Entry &entry : entries_) {
+        if (entry.page == page) {
+            entry.lastUse = useClock_;
+            return true;
+        }
+        if (entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    victim->page = page;
+    victim->lastUse = useClock_;
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &entry : entries_)
+        entry = Entry{};
+    useClock_ = 0;
+}
+
+} // namespace smite::sim

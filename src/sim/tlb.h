@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fully-associative LRU translation lookaside buffer model.
+ *
+ * A TLB miss costs a fixed page-walk latency that is added to the
+ * access latency of the triggering load/store/instruction fetch.
+ */
+
+#ifndef SMITE_SIM_TLB_H
+#define SMITE_SIM_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace smite::sim {
+
+/** Geometry and timing of a TLB. */
+struct TlbConfig {
+    int entries = 64;
+    Cycle walkLatency = 30;
+};
+
+/**
+ * Fully-associative LRU TLB. Each hardware context owns private
+ * instruction and data TLBs (SMT processors typically partition or
+ * tag them; private models the common case).
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /**
+     * Translate a page.
+     * @param page page number (addr / 4096)
+     * @return true on hit; on miss the entry is filled
+     */
+    bool access(Addr page);
+
+    /** Latency added to the access on a miss. */
+    Cycle walkLatency() const { return config_.walkLatency; }
+
+    /** Drop all translations. */
+    void flush();
+
+  private:
+    struct Entry {
+        Addr page = kNoPage;
+        std::uint64_t lastUse = 0;
+    };
+
+    static constexpr Addr kNoPage = ~Addr{0};
+
+    TlbConfig config_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace smite::sim
+
+#endif // SMITE_SIM_TLB_H

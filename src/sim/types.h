@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the SMT machine simulator.
+ */
+
+#ifndef SMITE_SIM_TYPES_H
+#define SMITE_SIM_TYPES_H
+
+#include <cstdint>
+
+namespace smite::sim {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated (virtual) byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "event has not happened yet". */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+/** Cache line size in bytes; all caches in the model use 64B lines. */
+inline constexpr Addr kLineBytes = 64;
+
+/** Page size used by the TLB models (4 KiB). */
+inline constexpr Addr kPageBytes = 4096;
+
+/** Extract the line-granular address (tag + index bits). */
+constexpr Addr
+lineAddr(Addr addr)
+{
+    return addr / kLineBytes;
+}
+
+/** Extract the page number of an address. */
+constexpr Addr
+pageAddr(Addr addr)
+{
+    return addr / kPageBytes;
+}
+
+} // namespace smite::sim
+
+#endif // SMITE_SIM_TYPES_H

@@ -1,0 +1,38 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smite::stats {
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("sample length mismatch");
+    if (a.size() < 2)
+        throw std::invalid_argument("need at least two samples");
+
+    const double n = static_cast<double>(a.size());
+    double mean_a = 0.0, mean_b = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        mean_a += a[i];
+        mean_b += b[i];
+    }
+    mean_a /= n;
+    mean_b /= n;
+
+    double cov = 0.0, var_a = 0.0, var_b = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - mean_a;
+        const double db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if (var_a <= 0.0 || var_b <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(var_a * var_b);
+}
+
+} // namespace smite::stats

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Pearson correlation, used for the dimension-independence analysis
+ * (Figure 7) and the ruler linearity validation (Section III-B1).
+ */
+
+#ifndef SMITE_STATS_CORRELATION_H
+#define SMITE_STATS_CORRELATION_H
+
+#include <vector>
+
+namespace smite::stats {
+
+/**
+ * Pearson correlation coefficient of two equal-length samples.
+ *
+ * @return r in [-1, 1]; 0 if either sample has zero variance
+ * @throws std::invalid_argument on length mismatch or < 2 samples
+ */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+} // namespace smite::stats
+
+#endif // SMITE_STATS_CORRELATION_H

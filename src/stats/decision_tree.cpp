@@ -1,0 +1,196 @@
+#include "stats/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace smite::stats {
+
+namespace {
+
+double
+meanOf(const std::vector<double> &y, const std::vector<std::size_t> &idx)
+{
+    double sum = 0.0;
+    for (std::size_t i : idx)
+        sum += y[i];
+    return sum / static_cast<double>(idx.size());
+}
+
+/** Sum of squared deviations from the mean over a subset. */
+double
+sse(const std::vector<double> &y, const std::vector<std::size_t> &idx)
+{
+    const double mu = meanOf(y, idx);
+    double sum = 0.0;
+    for (std::size_t i : idx) {
+        const double d = y[i] - mu;
+        sum += d * d;
+    }
+    return sum;
+}
+
+} // namespace
+
+std::unique_ptr<RegressionTree::Node>
+RegressionTree::build(const std::vector<std::vector<double>> &x,
+                      const std::vector<double> &y,
+                      std::vector<std::size_t> idx, int depth,
+                      int max_depth, std::size_t min_leaf)
+{
+    auto node = std::make_unique<Node>();
+    node->value = meanOf(y, idx);
+    if (depth >= max_depth || idx.size() < 2 * min_leaf)
+        return node;
+
+    const double parent_sse = sse(y, idx);
+    if (parent_sse < 1e-12)
+        return node;
+
+    const std::size_t dims = x.front().size();
+    double best_gain = 0.0;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+
+    std::vector<std::size_t> order = idx;
+    for (std::size_t f = 0; f < dims; ++f) {
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return x[a][f] < x[b][f];
+                  });
+        // Prefix sums over the sorted order for O(n) split scan.
+        double left_sum = 0.0, left_sq = 0.0;
+        double total_sum = 0.0, total_sq = 0.0;
+        for (std::size_t i : order) {
+            total_sum += y[i];
+            total_sq += y[i] * y[i];
+        }
+        const auto n = static_cast<double>(order.size());
+        for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+            const double v = y[order[k]];
+            left_sum += v;
+            left_sq += v * v;
+            const auto nl = static_cast<double>(k + 1);
+            const double nr = n - nl;
+            if (k + 1 < min_leaf || nr < static_cast<double>(min_leaf))
+                continue;
+            // Can't split between equal feature values.
+            if (x[order[k]][f] == x[order[k + 1]][f])
+                continue;
+            const double right_sum = total_sum - left_sum;
+            const double right_sq = total_sq - left_sq;
+            const double child_sse =
+                (left_sq - left_sum * left_sum / nl) +
+                (right_sq - right_sum * right_sum / nr);
+            const double gain = parent_sse - child_sse;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = static_cast<int>(f);
+                best_threshold =
+                    0.5 * (x[order[k]][f] + x[order[k + 1]][f]);
+            }
+        }
+    }
+
+    if (best_feature < 0)
+        return node;
+
+    std::vector<std::size_t> left_idx, right_idx;
+    for (std::size_t i : idx) {
+        if (x[i][best_feature] <= best_threshold)
+            left_idx.push_back(i);
+        else
+            right_idx.push_back(i);
+    }
+    if (left_idx.empty() || right_idx.empty())
+        return node;
+
+    node->leaf = false;
+    node->feature = best_feature;
+    node->threshold = best_threshold;
+    node->left = build(x, y, std::move(left_idx), depth + 1, max_depth,
+                       min_leaf);
+    node->right = build(x, y, std::move(right_idx), depth + 1,
+                        max_depth, min_leaf);
+    return node;
+}
+
+RegressionTree
+RegressionTree::fit(const std::vector<std::vector<double>> &features,
+                    const std::vector<double> &targets, int max_depth,
+                    std::size_t min_leaf)
+{
+    if (features.empty() || features.size() != targets.size())
+        throw std::invalid_argument("features/targets shape mismatch");
+    const std::size_t dims = features.front().size();
+    if (dims == 0)
+        throw std::invalid_argument("need at least one feature");
+    for (const auto &row : features) {
+        if (row.size() != dims)
+            throw std::invalid_argument("ragged feature rows");
+    }
+    if (max_depth < 0 || min_leaf == 0)
+        throw std::invalid_argument("bad tree hyperparameters");
+
+    std::vector<std::size_t> idx(features.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    RegressionTree tree;
+    tree.root_ = build(features, targets, std::move(idx), 0, max_depth,
+                       min_leaf);
+    return tree;
+}
+
+double
+RegressionTree::predict(const std::vector<double> &x) const
+{
+    const Node *node = root_.get();
+    while (!node->leaf) {
+        if (static_cast<std::size_t>(node->feature) >= x.size())
+            throw std::invalid_argument("feature dimension mismatch");
+        node = x[node->feature] <= node->threshold ? node->left.get()
+                                                   : node->right.get();
+    }
+    return node->value;
+}
+
+double
+RegressionTree::meanAbsoluteError(
+    const std::vector<std::vector<double>> &features,
+    const std::vector<double> &targets) const
+{
+    if (features.empty() || features.size() != targets.size())
+        throw std::invalid_argument("features/targets shape mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < features.size(); ++i)
+        sum += std::abs(predict(features[i]) - targets[i]);
+    return sum / static_cast<double>(features.size());
+}
+
+int
+RegressionTree::countLeaves(const Node &node)
+{
+    if (node.leaf)
+        return 1;
+    return countLeaves(*node.left) + countLeaves(*node.right);
+}
+
+int
+RegressionTree::leafCount() const
+{
+    return countLeaves(*root_);
+}
+
+std::vector<double>
+withSquares(const std::vector<double> &x)
+{
+    std::vector<double> out;
+    out.reserve(2 * x.size());
+    out.insert(out.end(), x.begin(), x.end());
+    for (double v : x)
+        out.push_back(v * v);
+    return out;
+}
+
+} // namespace smite::stats

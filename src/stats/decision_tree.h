@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CART-style regression tree.
+ *
+ * The paper's baseline search ("we experimented with ... linear
+ * regression, decision tree, higher order polynomial regression")
+ * needs a decision-tree regressor; this is a small axis-aligned CART
+ * with variance-reduction splits, depth and leaf-size limits.
+ */
+
+#ifndef SMITE_STATS_DECISION_TREE_H
+#define SMITE_STATS_DECISION_TREE_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace smite::stats {
+
+/**
+ * Regression tree fit by recursive binary splitting on the feature
+ * and threshold that maximize variance reduction.
+ */
+class RegressionTree
+{
+  public:
+    /**
+     * Fit a tree.
+     *
+     * @param features one row per sample (rectangular)
+     * @param targets one target per sample
+     * @param max_depth maximum tree depth (root = depth 0)
+     * @param min_leaf minimum samples per leaf
+     * @throws std::invalid_argument on shape errors
+     */
+    static RegressionTree
+    fit(const std::vector<std::vector<double>> &features,
+        const std::vector<double> &targets, int max_depth = 6,
+        std::size_t min_leaf = 5);
+
+    /** Predict the target for one feature row. */
+    double predict(const std::vector<double> &x) const;
+
+    /** Mean absolute error over a labelled set. */
+    double meanAbsoluteError(
+        const std::vector<std::vector<double>> &features,
+        const std::vector<double> &targets) const;
+
+    /** Number of leaf nodes. */
+    int leafCount() const;
+
+  private:
+    struct Node {
+        bool leaf = true;
+        double value = 0.0;   ///< mean target (leaves)
+        int feature = -1;     ///< split feature (internal)
+        double threshold = 0; ///< split threshold (internal)
+        std::unique_ptr<Node> left;   ///< x[feature] <= threshold
+        std::unique_ptr<Node> right;  ///< x[feature] >  threshold
+    };
+
+    static std::unique_ptr<Node>
+    build(const std::vector<std::vector<double>> &x,
+          const std::vector<double> &y, std::vector<std::size_t> idx,
+          int depth, int max_depth, std::size_t min_leaf);
+
+    static int countLeaves(const Node &node);
+
+    RegressionTree() = default;
+
+    std::unique_ptr<Node> root_;
+};
+
+/**
+ * Quadratic feature expansion: appends the square of every feature
+ * (no cross terms), doubling the dimensionality. Used for the
+ * "higher order polynomial regression" baseline.
+ */
+std::vector<double> withSquares(const std::vector<double> &x);
+
+} // namespace smite::stats
+
+#endif // SMITE_STATS_DECISION_TREE_H

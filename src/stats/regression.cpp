@@ -1,0 +1,111 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace smite::stats {
+
+std::vector<double>
+solveDense(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const size_t n = a.size();
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t pivot = col;
+        for (size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        }
+        if (std::abs(a[pivot][col]) < 1e-12)
+            throw std::invalid_argument("singular system");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+
+        for (size_t row = col + 1; row < n; ++row) {
+            const double f = a[row][col] / a[col][col];
+            if (f == 0.0)
+                continue;
+            for (size_t k = col; k < n; ++k)
+                a[row][k] -= f * a[col][k];
+            b[row] -= f * b[col];
+        }
+    }
+
+    std::vector<double> x(n);
+    for (size_t i = n; i-- > 0;) {
+        double sum = b[i];
+        for (size_t k = i + 1; k < n; ++k)
+            sum -= a[i][k] * x[k];
+        x[i] = sum / a[i][i];
+    }
+    return x;
+}
+
+LinearModel
+LinearModel::fit(const std::vector<std::vector<double>> &features,
+                 const std::vector<double> &targets, double ridge)
+{
+    if (features.empty() || features.size() != targets.size())
+        throw std::invalid_argument("features/targets shape mismatch");
+    const size_t d = features.front().size();
+    for (const auto &row : features) {
+        if (row.size() != d)
+            throw std::invalid_argument("ragged feature rows");
+    }
+
+    // Augment with the intercept column: p = d + 1 parameters.
+    const size_t p = d + 1;
+    std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+    std::vector<double> xty(p, 0.0);
+
+    for (size_t s = 0; s < features.size(); ++s) {
+        const auto &row = features[s];
+        auto at = [&](size_t j) { return j < d ? row[j] : 1.0; };
+        for (size_t i = 0; i < p; ++i) {
+            xty[i] += at(i) * targets[s];
+            for (size_t j = i; j < p; ++j)
+                xtx[i][j] += at(i) * at(j);
+        }
+    }
+    for (size_t i = 0; i < p; ++i) {
+        for (size_t j = 0; j < i; ++j)
+            xtx[i][j] = xtx[j][i];
+    }
+    // Regularize the weights (not the intercept).
+    for (size_t i = 0; i < d; ++i)
+        xtx[i][i] += ridge;
+
+    std::vector<double> beta = solveDense(std::move(xtx), std::move(xty));
+
+    LinearModel m;
+    m.weights_.assign(beta.begin(), beta.begin() + d);
+    m.intercept_ = beta[d];
+    return m;
+}
+
+double
+LinearModel::predict(const std::vector<double> &x) const
+{
+    if (x.size() != weights_.size())
+        throw std::invalid_argument("feature dimension mismatch");
+    double y = intercept_;
+    for (size_t i = 0; i < x.size(); ++i)
+        y += weights_[i] * x[i];
+    return y;
+}
+
+double
+LinearModel::meanAbsoluteError(
+    const std::vector<std::vector<double>> &features,
+    const std::vector<double> &targets) const
+{
+    if (features.size() != targets.size() || features.empty())
+        throw std::invalid_argument("features/targets shape mismatch");
+    double sum = 0.0;
+    for (size_t s = 0; s < features.size(); ++s)
+        sum += std::abs(predict(features[s]) - targets[s]);
+    return sum / static_cast<double>(features.size());
+}
+
+} // namespace smite::stats

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ordinary least-squares linear regression with intercept.
+ *
+ * Small dense problems only (the SMiTe model has 7 features, the PMU
+ * baseline 22), solved via the normal equations with partial-pivot
+ * Gaussian elimination and an optional ridge term for numerical
+ * robustness when features are collinear.
+ */
+
+#ifndef SMITE_STATS_REGRESSION_H
+#define SMITE_STATS_REGRESSION_H
+
+#include <cstddef>
+#include <vector>
+
+namespace smite::stats {
+
+/**
+ * A fitted linear model  y = w . x + b.
+ */
+class LinearModel
+{
+  public:
+    /**
+     * Fit by least squares.
+     *
+     * @param features one row per sample (all rows the same length)
+     * @param targets one target per sample
+     * @param ridge L2 regularization strength (0 = plain OLS)
+     * @throws std::invalid_argument on shape mismatch or an
+     *         unsolvable (degenerate) system
+     */
+    static LinearModel fit(const std::vector<std::vector<double>> &features,
+                           const std::vector<double> &targets,
+                           double ridge = 0.0);
+
+    /** Predict the target for one feature row. */
+    double predict(const std::vector<double> &x) const;
+
+    /** Feature weights (size = feature count). */
+    const std::vector<double> &weights() const { return weights_; }
+
+    /** Intercept term. */
+    double intercept() const { return intercept_; }
+
+    /** Mean absolute error over a labelled set. */
+    double meanAbsoluteError(
+        const std::vector<std::vector<double>> &features,
+        const std::vector<double> &targets) const;
+
+  private:
+    LinearModel() = default;
+
+    std::vector<double> weights_;
+    double intercept_ = 0.0;
+};
+
+/**
+ * Solve the dense linear system A x = b in place (partial pivoting).
+ * @throws std::invalid_argument if the matrix is singular
+ */
+std::vector<double> solveDense(std::vector<std::vector<double>> a,
+                               std::vector<double> b);
+
+} // namespace smite::stats
+
+#endif // SMITE_STATS_REGRESSION_H

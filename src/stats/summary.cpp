@@ -1,0 +1,74 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smite::stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("mean of empty sample");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("min of empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("max of empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+quantile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        throw std::invalid_argument("quantile of empty sample");
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument("quantile p outside [0, 1]");
+    std::sort(xs.begin(), xs.end());
+    const double pos = p * static_cast<double>(xs.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(pos));
+    const size_t hi = static_cast<size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<std::pair<double, double>>
+empiricalCdf(std::vector<double> xs, int points)
+{
+    if (xs.empty())
+        throw std::invalid_argument("CDF of empty sample");
+    if (points < 2)
+        throw std::invalid_argument("need at least two CDF points");
+    std::sort(xs.begin(), xs.end());
+    std::vector<std::pair<double, double>> cdf;
+    cdf.reserve(points);
+    for (int i = 0; i < points; ++i) {
+        const double p =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        const double pos = p * static_cast<double>(xs.size() - 1);
+        const size_t lo = static_cast<size_t>(std::floor(pos));
+        const size_t hi = static_cast<size_t>(std::ceil(pos));
+        const double frac = pos - static_cast<double>(lo);
+        const double x = xs[lo] * (1.0 - frac) + xs[hi] * frac;
+        cdf.emplace_back(x, p);
+    }
+    return cdf;
+}
+
+} // namespace smite::stats

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Summary statistics and empirical-distribution helpers used by the
+ * figure-reproduction harnesses (means, percentiles, CDF sampling).
+ */
+
+#ifndef SMITE_STATS_SUMMARY_H
+#define SMITE_STATS_SUMMARY_H
+
+#include <utility>
+#include <vector>
+
+namespace smite::stats {
+
+/** Arithmetic mean. @throws std::invalid_argument if empty. */
+double mean(const std::vector<double> &xs);
+
+/** Minimum value. @throws std::invalid_argument if empty. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum value. @throws std::invalid_argument if empty. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Empirical p-th quantile with linear interpolation,
+ * p in [0, 1]. @throws std::invalid_argument if empty or p invalid.
+ */
+double quantile(std::vector<double> xs, double p);
+
+/**
+ * Sample the empirical CDF of @p xs at evenly spaced points.
+ *
+ * @return pairs (x, F(x)) at @p points quantiles, suitable for
+ *         plotting a distribution like the paper's Figures 3 and 5
+ */
+std::vector<std::pair<double, double>>
+empiricalCdf(std::vector<double> xs, int points = 20);
+
+} // namespace smite::stats
+
+#endif // SMITE_STATS_SUMMARY_H

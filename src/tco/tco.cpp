@@ -1,0 +1,57 @@
+#include "tco/tco.h"
+
+#include <stdexcept>
+
+namespace smite::tco {
+
+TcoModel::TcoModel(const TcoParams &params)
+    : params_(params)
+{
+    if (params.serverAmortYears <= 0.0 ||
+        params.datacenterAmortYears <= 0.0 ||
+        params.horizonYears <= 0.0) {
+        throw std::invalid_argument("amortization spans must be positive");
+    }
+    if (params.serverPeakWatts < params.serverIdleWatts)
+        throw std::invalid_argument("peak power below idle power");
+    if (params.pue < 1.0)
+        throw std::invalid_argument("PUE cannot be below 1");
+}
+
+double
+TcoModel::serverPower(double u) const
+{
+    if (u < 0.0 || u > 1.0)
+        throw std::invalid_argument("utilization outside [0, 1]");
+    return params_.serverIdleWatts +
+           (params_.serverPeakWatts - params_.serverIdleWatts) * u;
+}
+
+double
+TcoModel::horizonCost(double servers, double avg_utilization) const
+{
+    if (servers < 0.0)
+        throw std::invalid_argument("negative server count");
+    const double years = params_.horizonYears;
+
+    // Amortized capital.
+    const double server_capital = servers * params_.serverCapex *
+                                  (years / params_.serverAmortYears);
+    const double provisioned_watts =
+        servers * params_.serverPeakWatts * params_.pue;
+    const double dc_capital = provisioned_watts *
+                              params_.datacenterCapexPerWatt *
+                              (years / params_.datacenterAmortYears);
+
+    // Operating cost.
+    const double avg_watts =
+        servers * serverPower(avg_utilization) * params_.pue;
+    const double kwh = avg_watts / 1000.0 * 24.0 * 365.0 * years;
+    const double energy = kwh * params_.electricityPerKwh;
+    const double maintenance = servers * params_.serverCapex *
+                               params_.maintenanceFraction * years;
+
+    return server_capital + dc_capital + energy + maintenance;
+}
+
+} // namespace smite::tco

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Total cost of ownership model (paper Section IV-E).
+ *
+ * Follows the analytical methodology of Barroso, Clidaras and Hölzle,
+ * "The Datacenter as a Computer" (paper reference [21]): server
+ * capital amortized over its service life, datacenter capital
+ * amortized per provisioned watt, electricity at the fleet PUE
+ * (paper reference [22] — Google's published fleet PUE), and
+ * maintenance opex proportional to server capital.
+ */
+
+#ifndef SMITE_TCO_TCO_H
+#define SMITE_TCO_TCO_H
+
+namespace smite::tco {
+
+/** Cost and power parameters of the fleet. */
+struct TcoParams {
+    double serverCapex = 2500.0;        ///< $ per server
+    double serverAmortYears = 3.0;      ///< server service life
+    double datacenterCapexPerWatt = 12.0;  ///< $ per provisioned watt
+    double datacenterAmortYears = 12.0;    ///< facility service life
+    double serverIdleWatts = 150.0;     ///< power at zero utilization
+    double serverPeakWatts = 350.0;     ///< power at full utilization
+    double pue = 1.12;                  ///< fleet power usage effectiveness
+    double electricityPerKwh = 0.067;   ///< $ per kWh
+    double maintenanceFraction = 0.05;  ///< yearly opex / server capex
+    double horizonYears = 3.0;          ///< evaluation horizon
+};
+
+/**
+ * Fleet-level TCO calculator.
+ */
+class TcoModel
+{
+  public:
+    explicit TcoModel(const TcoParams &params = TcoParams());
+
+    /** Average wall power of one server at utilization @p u. */
+    double serverPower(double u) const;
+
+    /**
+     * Total cost of @p servers servers over the horizon, at average
+     * utilization @p avg_utilization: amortized server + datacenter
+     * capital, electricity (at PUE), and maintenance.
+     */
+    double horizonCost(double servers, double avg_utilization) const;
+
+    /** Parameters in use. */
+    const TcoParams &params() const { return params_; }
+
+  private:
+    TcoParams params_;
+};
+
+} // namespace smite::tco
+
+#endif // SMITE_TCO_TCO_H

@@ -1,0 +1,165 @@
+#include "workload/cloudsuite.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace smite::workload::cloudsuite {
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+WorkloadProfile
+base(const char *name)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.suite = Suite::kCloudSuite;
+    return p;
+}
+
+std::vector<WorkloadProfile>
+buildSuite()
+{
+    std::vector<WorkloadProfile> v;
+
+    // Web-Search (Nutch-like index serving): pointer chasing over a
+    // large index, heavy branching, large instruction footprint.
+    {
+        WorkloadProfile p = base("Web-Search");
+        p.mixOf(sim::UopType::kIntAdd) = .30;
+        p.mixOf(sim::UopType::kIntMul) = .01;
+        p.mixOf(sim::UopType::kBranch) = .18;
+        p.mixOf(sim::UopType::kLoad) = .30;
+        p.mixOf(sim::UopType::kStore) = .08;
+        p.branchMispredictRate = .050;
+        p.dataFootprint = 800 * kMiB;
+        p.streamFraction = .10;
+        p.stackProb = .50;
+        p.stackBytes = 16 * kKiB;
+        p.hotBytes = 8 * kMiB;
+        p.hotProb = .90;
+        p.codeFootprint = 4 * kMiB;
+        p.loopBytes = 4 * kKiB;
+        p.codeDwellUops = 1200.0;
+        p.depProb = .62;
+        p.dep2Prob = .20;
+        p.depMeanDist = 3.2;
+        p.loadDepProb = 0.50;
+        p.arrivalRate = 800.0;    // requests/s per worker thread
+        p.serviceRate = 2000.0;   // solo service capacity
+        p.reportsPercentile = true;
+        v.push_back(p);
+    }
+
+    // Data-Caching (Memcached): hash + slab lookups over a big heap,
+    // short requests, very fast service.
+    {
+        WorkloadProfile p = base("Data-Caching");
+        p.mixOf(sim::UopType::kIntAdd) = .28;
+        p.mixOf(sim::UopType::kIntMul) = .02;
+        p.mixOf(sim::UopType::kBranch) = .16;
+        p.mixOf(sim::UopType::kLoad) = .32;
+        p.mixOf(sim::UopType::kStore) = .10;
+        p.branchMispredictRate = .030;
+        p.dataFootprint = 600 * kMiB;
+        p.streamFraction = .05;
+        p.stackProb = .50;
+        p.stackBytes = 16 * kKiB;
+        p.hotBytes = 6 * kMiB;
+        p.hotProb = .92;
+        p.codeFootprint = 1 * kMiB;
+        p.loopBytes = 1 * kKiB;
+        p.codeDwellUops = 5000.0;
+        p.loopBytes = 2 * kKiB;
+        p.codeDwellUops = 1500.0;
+        p.depProb = .65;
+        p.dep2Prob = .20;
+        p.depMeanDist = 3.0;
+        p.loadDepProb = 0.45;
+        p.arrivalRate = 8000.0;
+        p.serviceRate = 20000.0;
+        p.reportsPercentile = true;
+        v.push_back(p);
+    }
+
+    // Data-Serving (Cassandra): wide-row reads/writes, JVM code
+    // footprint, large heap. No percentile statistics in its harness.
+    {
+        WorkloadProfile p = base("Data-Serving");
+        p.mixOf(sim::UopType::kIntAdd) = .30;
+        p.mixOf(sim::UopType::kIntMul) = .01;
+        p.mixOf(sim::UopType::kBranch) = .17;
+        p.mixOf(sim::UopType::kLoad) = .30;
+        p.mixOf(sim::UopType::kStore) = .11;
+        p.branchMispredictRate = .040;
+        p.dataFootprint = 700 * kMiB;
+        p.streamFraction = .15;
+        p.stackProb = .50;
+        p.stackBytes = 16 * kKiB;
+        p.hotBytes = 6 * kMiB;
+        p.hotProb = .92;
+        p.codeFootprint = 3 * kMiB;
+        p.loopBytes = 4 * kKiB;
+        p.codeDwellUops = 1200.0;
+        p.depProb = .63;
+        p.dep2Prob = .20;
+        p.depMeanDist = 3.2;
+        p.loadDepProb = 0.50;
+        p.arrivalRate = 900.0;
+        p.serviceRate = 1500.0;
+        p.reportsPercentile = false;
+        v.push_back(p);
+    }
+
+    // Graph-Analytics (TunkRank-like): irregular traversal with some
+    // streaming over edge arrays. No percentile statistics.
+    {
+        WorkloadProfile p = base("Graph-Analytics");
+        p.mixOf(sim::UopType::kIntAdd) = .32;
+        p.mixOf(sim::UopType::kIntMul) = .01;
+        p.mixOf(sim::UopType::kBranch) = .14;
+        p.mixOf(sim::UopType::kLoad) = .34;
+        p.mixOf(sim::UopType::kStore) = .08;
+        p.branchMispredictRate = .060;
+        p.dataFootprint = 1200 * kMiB;
+        p.streamFraction = .25;
+        p.stackProb = .45;
+        p.stackBytes = 16 * kKiB;
+        p.hotBytes = 12 * kMiB;
+        p.hotProb = .88;
+        p.codeFootprint = 1 * kMiB;
+        p.depProb = .68;
+        p.dep2Prob = .20;
+        p.depMeanDist = 2.8;
+        p.loadDepProb = 0.60;
+        p.arrivalRate = 600.0;
+        p.serviceRate = 1000.0;
+        p.reportsPercentile = false;
+        v.push_back(p);
+    }
+    return v;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+all()
+{
+    static const std::vector<WorkloadProfile> suite = buildSuite();
+    return suite;
+}
+
+const WorkloadProfile &
+byName(std::string_view name)
+{
+    for (const WorkloadProfile &p : all()) {
+        if (p.name == name)
+            return p;
+    }
+    throw std::out_of_range("unknown CloudSuite application: " +
+                            std::string(name));
+}
+
+} // namespace smite::workload::cloudsuite

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Synthetic stand-ins for the four CloudSuite applications the paper
+ * uses as latency-sensitive WSC workloads: Web-Search, Data-Caching,
+ * Data-Serving and Graph-Analytics.
+ *
+ * The profiles follow the paper's Findings 5 and 8: functional-unit
+ * behaviour similar to SPEC_INT, but much higher L3 contentiousness
+ * (large, poorly-cached data footprints) and large instruction
+ * footprints. Web-Search and Data-Caching additionally carry M/M/1
+ * arrival/service rates and report percentile latency.
+ */
+
+#ifndef SMITE_WORKLOAD_CLOUDSUITE_H
+#define SMITE_WORKLOAD_CLOUDSUITE_H
+
+#include <string_view>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace smite::workload::cloudsuite {
+
+/** All four CloudSuite application profiles. */
+const std::vector<WorkloadProfile> &all();
+
+/**
+ * Look up an application by name (e.g. "Web-Search").
+ * @throws std::out_of_range for unknown names
+ */
+const WorkloadProfile &byName(std::string_view name);
+
+} // namespace smite::workload::cloudsuite
+
+#endif // SMITE_WORKLOAD_CLOUDSUITE_H

@@ -1,0 +1,176 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smite::workload {
+
+namespace {
+
+/** Average bytes of machine code per uop (drives icache pressure). */
+constexpr sim::Addr kBytesPerUop = 4;
+
+} // namespace
+
+ProfileUopSource::ProfileUopSource(const WorkloadProfile &profile,
+                                   std::uint64_t seed)
+    : profile_(profile), seed_(seed), rng_(seed)
+{
+    double sum = 0.0;
+    for (int t = 0; t < sim::kNumUopTypes; ++t) {
+        if (profile_.mix[t] < 0.0)
+            throw std::invalid_argument("negative mix fraction");
+        sum += profile_.mix[t];
+        cumulativeMix_[t] = sum;
+    }
+    if (sum > 1.0 + 1e-9)
+        throw std::invalid_argument("uop mix sums to more than 1");
+    if (profile_.hotBytes > profile_.dataFootprint)
+        throw std::invalid_argument("hot region exceeds footprint");
+    if (profile_.stackBytes < 8 ||
+        profile_.stackBytes > profile_.dataFootprint) {
+        throw std::invalid_argument("bad stack region size");
+    }
+    if (profile_.dataFootprint < sim::kLineBytes)
+        throw std::invalid_argument("data footprint below one line");
+    if (profile_.codeFootprint < sim::kLineBytes)
+        throw std::invalid_argument("code footprint below one line");
+    if (profile_.loopBytes < sim::kLineBytes ||
+        profile_.loopBytes > profile_.codeFootprint) {
+        throw std::invalid_argument(
+            "loop size must be within [64B, code footprint]");
+    }
+    reset();
+}
+
+void
+ProfileUopSource::reset()
+{
+    rng_ = Rng(seed_);
+    // Start streaming in the middle of the footprint: for large
+    // arrays this is far beyond any functionally warmed region (a
+    // stream's first touch of a line is cold by nature), while for
+    // cache-resident footprints it stays warm, as it should.
+    streamCursor_ = (profile_.dataFootprint / 2) & ~sim::Addr{7};
+    regionBase_ = 0;
+    regionOffset_ = 0;
+    dwellLeft_ = 0;
+    lowPhase_ = false;
+    phaseLeft_ = 0;
+}
+
+sim::Addr
+ProfileUopSource::nextPc()
+{
+    if (dwellLeft_ == 0) {
+        // Jump to another function/loop in the code blob and spin
+        // there for a geometrically distributed number of uops.
+        const std::uint64_t regions =
+            std::max<std::uint64_t>(1, profile_.codeFootprint /
+                                           profile_.loopBytes);
+        regionBase_ = rng_.nextBelow(regions) * profile_.loopBytes;
+        regionOffset_ = 0;
+        const double mean = std::max(1.0, profile_.codeDwellUops);
+        dwellLeft_ = 1 + static_cast<std::uint64_t>(
+                             -mean * std::log(1.0 - rng_.nextDouble()));
+    }
+    --dwellLeft_;
+    const sim::Addr pc = regionBase_ + regionOffset_;
+    regionOffset_ = (regionOffset_ + kBytesPerUop) % profile_.loopBytes;
+    return pc;
+}
+
+sim::UopType
+ProfileUopSource::sampleType()
+{
+    const double x = rng_.nextDouble();
+    for (int t = 0; t < sim::kNumUopTypes; ++t) {
+        if (x < cumulativeMix_[t])
+            return static_cast<sim::UopType>(t);
+    }
+    return sim::UopType::kNop;
+}
+
+std::uint8_t
+ProfileUopSource::sampleDepDistance()
+{
+    const std::uint64_t d = rng_.nextGeometric(profile_.depMeanDist);
+    return static_cast<std::uint8_t>(std::min<std::uint64_t>(d, 63));
+}
+
+sim::Addr
+ProfileUopSource::nextDataAddr()
+{
+    if (rng_.nextDouble() < profile_.streamFraction) {
+        // Streaming walks the footprint at element (8B) granularity,
+        // so consecutive accesses mostly stay within one cache line —
+        // the spatial locality real array code has.
+        streamCursor_ = (streamCursor_ + 8) % profile_.dataFootprint;
+        return streamCursor_;
+    }
+    if (rng_.nextDouble() < profile_.stackProb)
+        return rng_.nextBelow(profile_.stackBytes / 8) * 8;
+    if (rng_.nextDouble() < profile_.hotProb)
+        return rng_.nextBelow(profile_.hotBytes / 8) * 8;
+    return rng_.nextBelow(profile_.dataFootprint / 8) * 8;
+}
+
+sim::Uop
+ProfileUopSource::next()
+{
+    // Phase modulation: in the light phase a fraction of slots carry
+    // no modeled resource demand.
+    if (phaseLeft_ == 0) {
+        lowPhase_ = !lowPhase_;
+        const double mean = std::max(1.0, profile_.phaseMeanUops);
+        phaseLeft_ = 1 + static_cast<std::uint64_t>(
+                             -mean * std::log(1.0 - rng_.nextDouble()));
+    }
+    --phaseLeft_;
+    if (lowPhase_ && rng_.nextDouble() > profile_.phaseLowFactor) {
+        sim::Uop filler;
+        filler.type = sim::UopType::kNop;
+        filler.pc = nextPc();
+        return filler;
+    }
+
+    sim::Uop uop;
+    uop.type = sampleType();
+    uop.pc = nextPc();
+
+    if (uop.type == sim::UopType::kLoad) {
+        // Loads serialize on earlier results only when the program
+        // actually chases pointers; array address streams are
+        // dependence-free and overlap their misses.
+        if (rng_.nextDouble() < profile_.loadDepProb)
+            uop.srcDist1 = sampleDepDistance();
+    } else if (uop.type == sim::UopType::kBranch) {
+        // Branch conditions are typically simple flag tests; give
+        // them lighter dependences so resolution is not dominated by
+        // deep value chains.
+        if (rng_.nextDouble() < 0.5 * profile_.depProb)
+            uop.srcDist1 = sampleDepDistance();
+    } else {
+        if (rng_.nextDouble() < profile_.depProb)
+            uop.srcDist1 = sampleDepDistance();
+        if (rng_.nextDouble() < profile_.dep2Prob)
+            uop.srcDist2 = sampleDepDistance();
+    }
+
+    switch (uop.type) {
+      case sim::UopType::kLoad:
+      case sim::UopType::kStore:
+        uop.addr = nextDataAddr();
+        break;
+      case sim::UopType::kBranch:
+        uop.mispredict =
+            rng_.nextDouble() < profile_.branchMispredictRate;
+        break;
+      default:
+        break;
+    }
+    return uop;
+}
+
+} // namespace smite::workload

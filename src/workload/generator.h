@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Procedural uop stream generator: turns a WorkloadProfile into an
+ * infinite, deterministic sim::UopSource.
+ */
+
+#ifndef SMITE_WORKLOAD_GENERATOR_H
+#define SMITE_WORKLOAD_GENERATOR_H
+
+#include <array>
+#include <cstdint>
+
+#include "sim/uop.h"
+#include "workload/profile.h"
+#include "workload/rng.h"
+
+namespace smite::workload {
+
+/**
+ * Uop stream generator driven by a WorkloadProfile.
+ *
+ * Determinism: two generators built from the same profile and seed
+ * produce identical streams, and reset() rewinds exactly; this makes
+ * solo and co-located measurements of the same application directly
+ * comparable, mirroring how the paper replays the same binaries.
+ */
+class ProfileUopSource : public sim::UopSource
+{
+  public:
+    /**
+     * @param profile statistical description of the application
+     * @param seed stream seed; keep fixed for reproducibility
+     */
+    explicit ProfileUopSource(const WorkloadProfile &profile,
+                              std::uint64_t seed = 1);
+
+    sim::Uop next() override;
+    void reset() override;
+
+    /**
+     * Cache-resident applications (small total footprints) keep
+     * their whole data set live; larger applications keep only their
+     * hot structure resident.
+     */
+    sim::Addr
+    hotFootprint() const override
+    {
+        constexpr sim::Addr kResidentLimit = 32ull << 20;
+        return profile_.dataFootprint <= kResidentLimit
+                   ? profile_.dataFootprint
+                   : profile_.hotBytes;
+    }
+
+    sim::Addr codeFootprint() const override
+    {
+        return profile_.codeFootprint;
+    }
+
+    /**
+     * Estimated rate of accesses that reach the shared cache:
+     * streaming plus hot-region traffic (when the hot region is too
+     * big for the private levels) plus cold-random traffic.
+     */
+    double
+    residencyWeight() const override
+    {
+        constexpr sim::Addr kPrivateReach = 1 << 20;
+        const double mem = profile_.mixOf(sim::UopType::kLoad) +
+                           profile_.mixOf(sim::UopType::kStore);
+        const double stream_part =
+            profile_.dataFootprint > kPrivateReach
+                ? profile_.streamFraction
+                : 0.0;
+        const double after_stack =
+            (1.0 - profile_.streamFraction) * (1.0 - profile_.stackProb);
+        const double hot_part =
+            profile_.hotBytes > kPrivateReach
+                ? after_stack * profile_.hotProb
+                : 0.0;
+        const double cold_part = after_stack * (1.0 - profile_.hotProb);
+        return 1e-3 + mem * (stream_part + hot_part + cold_part);
+    }
+
+    /** The generating profile. */
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    sim::Addr nextDataAddr();
+    sim::Addr nextPc();
+    sim::UopType sampleType();
+    std::uint8_t sampleDepDistance();
+
+    WorkloadProfile profile_;
+    std::uint64_t seed_;
+    Rng rng_;
+
+    /** Cumulative mix distribution, indexed like the mix array. */
+    std::array<double, sim::kNumUopTypes> cumulativeMix_{};
+
+    sim::Addr streamCursor_ = 0;  ///< streaming access position
+    sim::Addr regionBase_ = 0;    ///< current code region (loop) base
+    sim::Addr regionOffset_ = 0;  ///< instruction pointer within region
+    std::uint64_t dwellLeft_ = 0; ///< uops until the next region jump
+    bool lowPhase_ = false;       ///< currently in the light phase?
+    std::uint64_t phaseLeft_ = 0; ///< uops until the phase flips
+};
+
+} // namespace smite::workload
+
+#endif // SMITE_WORKLOAD_GENERATOR_H

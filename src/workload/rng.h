@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small deterministic RNG used by all trace generators.
+ *
+ * The generators must be exactly reproducible across runs (a solo run
+ * and a co-located run of the same workload must see the same uop
+ * stream), so we use a self-contained xorshift64* generator rather
+ * than anything from <random> whose distributions are
+ * implementation-defined.
+ */
+
+#ifndef SMITE_WORKLOAD_RNG_H
+#define SMITE_WORKLOAD_RNG_H
+
+#include <cstdint>
+
+namespace smite::workload {
+
+/** xorshift64* pseudo-random generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed == 0 ? 1 : seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    nextU64()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return nextU64() % bound;
+    }
+
+    /**
+     * Geometric variate with the given mean (>= 1), i.e. number of
+     * Bernoulli trials until first success with p = 1/mean.
+     */
+    std::uint64_t
+    nextGeometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        const double p = 1.0 / mean;
+        std::uint64_t k = 1;
+        while (nextDouble() >= p && k < 1024)
+            ++k;
+        return k;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace smite::workload
+
+#endif // SMITE_WORKLOAD_RNG_H

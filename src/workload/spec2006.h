@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Synthetic stand-ins for the 29 SPEC CPU2006 benchmarks (ref
+ * inputs) used by the paper.
+ *
+ * Each profile is tuned from published characterizations so that the
+ * *relative* contention behaviour matches the paper's observations,
+ * e.g. 444.namd is FP_ADD-bound (high port 1 sensitivity), 429.mcf is
+ * memory-latency-bound with little port sensitivity, 454.calculix is
+ * FP_MUL-heavy with an L1-resident hot set, 470.lbm streams through
+ * memory with heavy FP_ADD use, and the integer codes put branch
+ * pressure on port 5.
+ */
+
+#ifndef SMITE_WORKLOAD_SPEC2006_H
+#define SMITE_WORKLOAD_SPEC2006_H
+
+#include <string_view>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace smite::workload::spec2006 {
+
+/** All 29 benchmark profiles, ordered by SPEC number. */
+const std::vector<WorkloadProfile> &all();
+
+/** Benchmarks with even SPEC numbers (14 entries). */
+std::vector<WorkloadProfile> evenNumbered();
+
+/** Benchmarks with odd SPEC numbers (15 entries). */
+std::vector<WorkloadProfile> oddNumbered();
+
+/**
+ * Look up a benchmark by name (e.g. "429.mcf").
+ * @throws std::out_of_range for unknown names
+ */
+const WorkloadProfile &byName(std::string_view name);
+
+} // namespace smite::workload::spec2006
+
+#endif // SMITE_WORKLOAD_SPEC2006_H

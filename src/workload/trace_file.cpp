@@ -1,0 +1,93 @@
+#include "workload/trace_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smite::workload {
+
+namespace {
+
+constexpr const char *kHeader = "smite-trace v1";
+
+} // namespace
+
+void
+recordTrace(sim::UopSource &source, std::size_t count,
+            const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write trace file: " + path);
+    out << kHeader << "\n";
+    out << std::hex;
+    for (std::size_t i = 0; i < count; ++i) {
+        const sim::Uop uop = source.next();
+        out << std::dec << static_cast<int>(uop.type) << " "
+            << static_cast<int>(uop.srcDist1) << " "
+            << static_cast<int>(uop.srcDist2) << " "
+            << (uop.mispredict ? 1 : 0) << " " << std::hex << uop.addr
+            << " " << uop.pc << "\n";
+    }
+    if (!out)
+        throw std::runtime_error("failed writing trace file: " + path);
+}
+
+TraceReplaySource::TraceReplaySource(std::vector<sim::Uop> uops)
+    : uops_(std::move(uops))
+{
+    if (uops_.empty())
+        throw std::runtime_error("empty trace");
+}
+
+TraceReplaySource::TraceReplaySource(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open trace file: " + path);
+    std::string header;
+    std::getline(in, header);
+    if (header != kHeader)
+        throw std::runtime_error("not a smite trace: " + path);
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        int type = 0, src1 = 0, src2 = 0, mispredict = 0;
+        sim::Addr addr = 0, pc = 0;
+        row >> std::dec >> type >> src1 >> src2 >> mispredict >>
+            std::hex >> addr >> pc;
+        if (row.fail() || type < 0 || type >= sim::kNumUopTypes ||
+            src1 < 0 || src1 > 63 || src2 < 0 || src2 > 63) {
+            throw std::runtime_error("malformed trace record: " + line);
+        }
+        sim::Uop uop;
+        uop.type = static_cast<sim::UopType>(type);
+        uop.srcDist1 = static_cast<std::uint8_t>(src1);
+        uop.srcDist2 = static_cast<std::uint8_t>(src2);
+        uop.mispredict = mispredict != 0;
+        uop.addr = addr;
+        uop.pc = pc;
+        uops_.push_back(uop);
+    }
+    if (uops_.empty())
+        throw std::runtime_error("empty trace: " + path);
+}
+
+sim::Uop
+TraceReplaySource::next()
+{
+    const sim::Uop uop = uops_[cursor_];
+    cursor_ = (cursor_ + 1) % uops_.size();
+    return uop;
+}
+
+void
+TraceReplaySource::reset()
+{
+    cursor_ = 0;
+}
+
+} // namespace smite::workload

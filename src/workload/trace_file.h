@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Uop trace capture and replay.
+ *
+ * The simulator normally consumes procedurally generated streams,
+ * but interoperating with external tools (binary instrumentation,
+ * other simulators) needs a serialized form. A trace file stores a
+ * finite window of uops; replay loops over it, which matches how the
+ * paper replays steady-state application behaviour.
+ *
+ * Format: one record per line,
+ *   <type> <srcDist1> <srcDist2> <mispredict> <addr-hex> <pc-hex>
+ * with a `smite-trace v1` header. Text keeps traces inspectable and
+ * diffable; gzip externally if size matters.
+ */
+
+#ifndef SMITE_WORKLOAD_TRACE_FILE_H
+#define SMITE_WORKLOAD_TRACE_FILE_H
+
+#include <string>
+#include <vector>
+
+#include "sim/uop.h"
+
+namespace smite::workload {
+
+/**
+ * Capture @p count uops from a source into a trace file.
+ *
+ * @throws std::runtime_error if the file cannot be written
+ */
+void recordTrace(sim::UopSource &source, std::size_t count,
+                 const std::string &path);
+
+/**
+ * Replays a recorded trace, looping at the end.
+ */
+class TraceReplaySource : public sim::UopSource
+{
+  public:
+    /**
+     * Load a trace from disk.
+     * @throws std::runtime_error on malformed files
+     */
+    explicit TraceReplaySource(const std::string &path);
+
+    /** Build a replay source directly from uops (for testing). */
+    explicit TraceReplaySource(std::vector<sim::Uop> uops);
+
+    sim::Uop next() override;
+    void reset() override;
+
+    /** Number of uops in one loop of the trace. */
+    std::size_t traceLength() const { return uops_.size(); }
+
+  private:
+    std::vector<sim::Uop> uops_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace smite::workload
+
+#endif // SMITE_WORKLOAD_TRACE_FILE_H

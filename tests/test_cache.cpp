@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace smite::sim {
+namespace {
+
+CacheConfig
+smallCache(std::uint64_t size = 4 * 1024, int assoc = 4)
+{
+    CacheConfig config;
+    config.name = "test";
+    config.sizeBytes = size;
+    config.assoc = assoc;
+    config.hitLatency = 3;
+    return config;
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache cache(smallCache());
+    EXPECT_FALSE(cache.access(42, false).hit);
+    EXPECT_TRUE(cache.access(42, false).hit);
+    EXPECT_TRUE(cache.probe(42));
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    SetAssocCache cache(smallCache());
+    EXPECT_FALSE(cache.probe(7));
+    EXPECT_FALSE(cache.access(7, false).hit);
+}
+
+TEST(Cache, GeometryComputed)
+{
+    SetAssocCache cache(smallCache(8 * 1024, 8));
+    // 8 KiB / 64 B = 128 lines, 8-way => 16 sets.
+    EXPECT_EQ(cache.numSets(), 16u);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    CacheConfig config = smallCache();
+    config.assoc = 0;
+    EXPECT_THROW(SetAssocCache{config}, std::invalid_argument);
+    config = smallCache(100, 3);  // not a multiple of assoc * 64
+    EXPECT_THROW(SetAssocCache{config}, std::invalid_argument);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 1 set x 2 ways: sizeBytes = 2 lines, assoc 2.
+    SetAssocCache cache(smallCache(128, 2));
+    cache.access(0, false);
+    cache.access(1, false);
+    cache.access(0, false);       // 0 is now MRU
+    cache.access(2, false);       // evicts 1 (LRU)
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(1));
+    EXPECT_TRUE(cache.probe(2));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    SetAssocCache cache(smallCache(128, 2));  // one set, two ways
+    cache.access(10, true);   // dirty
+    cache.access(11, false);  // clean
+    const auto result = cache.access(12, false);  // evicts 10
+    EXPECT_FALSE(result.hit);
+    EXPECT_TRUE(result.evictedDirty);
+    EXPECT_EQ(result.evictedLine, 10u);
+}
+
+TEST(Cache, CleanEvictionNotReported)
+{
+    SetAssocCache cache(smallCache(128, 2));
+    cache.access(10, false);
+    cache.access(11, false);
+    const auto result = cache.access(12, false);
+    EXPECT_FALSE(result.hit);
+    EXPECT_FALSE(result.evictedDirty);
+}
+
+TEST(Cache, WriteMarksDirtyOnHit)
+{
+    SetAssocCache cache(smallCache(128, 2));
+    cache.access(10, false);   // clean fill
+    cache.access(10, true);    // dirty via write hit
+    cache.access(11, false);
+    const auto result = cache.access(12, false);
+    EXPECT_TRUE(result.evictedDirty);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    SetAssocCache cache(smallCache());
+    for (Addr line = 0; line < 32; ++line)
+        cache.access(line, true);
+    cache.flush();
+    for (Addr line = 0; line < 32; ++line)
+        EXPECT_FALSE(cache.probe(line));
+}
+
+TEST(Cache, DistinctSetsDoNotConflict)
+{
+    // 4 sets x 2 ways.
+    SetAssocCache cache(smallCache(512, 2));
+    // Fill set 0 with three conflicting lines; set 1 untouched.
+    cache.access(0, false);
+    cache.access(4, false);
+    cache.access(8, false);  // evicts line 0
+    cache.access(1, false);  // set 1
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_TRUE(cache.probe(1));
+}
+
+/** Working sets within capacity must fully hit after one pass. */
+class CacheResidency
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, int>>
+{
+};
+
+TEST_P(CacheResidency, ResidentSetAlwaysHitsAfterWarmup)
+{
+    const auto [size, assoc] = GetParam();
+    SetAssocCache cache(smallCache(size, assoc));
+    const std::uint64_t lines = size / kLineBytes;
+    for (Addr line = 0; line < lines; ++line)
+        cache.access(line, false);
+    for (Addr line = 0; line < lines; ++line)
+        EXPECT_TRUE(cache.access(line, false).hit) << "line " << line;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheResidency,
+    ::testing::Values(std::make_pair(std::uint64_t{1024}, 1),
+                      std::make_pair(std::uint64_t{4096}, 2),
+                      std::make_pair(std::uint64_t{8192}, 4),
+                      std::make_pair(std::uint64_t{32768}, 8),
+                      std::make_pair(std::uint64_t{65536}, 16)));
+
+/** Over-subscribed sequential walks must miss every time (LRU). */
+TEST(Cache, SequentialOverSubscriptionThrashes)
+{
+    SetAssocCache cache(smallCache(1024, 2));  // 16 lines
+    const Addr lines = 24;                     // 1.5x capacity
+    for (int pass = 0; pass < 3; ++pass) {
+        int hits = 0;
+        for (Addr line = 0; line < lines; ++line)
+            hits += cache.access(line, false).hit ? 1 : 0;
+        if (pass > 0) {
+            EXPECT_EQ(hits, 0) << "pass " << pass;
+        }
+    }
+}
+
+} // namespace
+} // namespace smite::sim

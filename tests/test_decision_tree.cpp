@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the CART regression tree and quadratic expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/decision_tree.h"
+#include "workload/rng.h"
+
+namespace smite::stats {
+namespace {
+
+TEST(RegressionTree, FitsAStepFunctionExactly)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 40; ++i) {
+        x.push_back({static_cast<double>(i)});
+        y.push_back(i < 20 ? 1.0 : 5.0);
+    }
+    const auto tree = RegressionTree::fit(x, y, 4, 2);
+    EXPECT_NEAR(tree.predict({3.0}), 1.0, 1e-12);
+    EXPECT_NEAR(tree.predict({30.0}), 5.0, 1e-12);
+    EXPECT_NEAR(tree.meanAbsoluteError(x, y), 0.0, 1e-12);
+}
+
+TEST(RegressionTree, DepthZeroIsTheMean)
+{
+    std::vector<std::vector<double>> x = {{0}, {1}, {2}, {3}};
+    std::vector<double> y = {0, 1, 2, 3};
+    const auto tree = RegressionTree::fit(x, y, 0, 1);
+    EXPECT_EQ(tree.leafCount(), 1);
+    EXPECT_NEAR(tree.predict({0}), 1.5, 1e-12);
+}
+
+TEST(RegressionTree, SplitsOnTheInformativeFeature)
+{
+    workload::Rng rng(3);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        const double informative = rng.nextDouble();
+        const double noise = rng.nextDouble();
+        x.push_back({noise, informative});
+        y.push_back(informative > 0.5 ? 2.0 : -2.0);
+    }
+    const auto tree = RegressionTree::fit(x, y, 3, 5);
+    EXPECT_NEAR(tree.predict({0.9, 0.9}), 2.0, 0.2);
+    EXPECT_NEAR(tree.predict({0.9, 0.1}), -2.0, 0.2);
+}
+
+TEST(RegressionTree, MinLeafBoundsGranularity)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 16; ++i) {
+        x.push_back({static_cast<double>(i)});
+        y.push_back(static_cast<double>(i));
+    }
+    const auto coarse = RegressionTree::fit(x, y, 10, 8);
+    EXPECT_LE(coarse.leafCount(), 2);
+    const auto fine = RegressionTree::fit(x, y, 10, 1);
+    EXPECT_GT(fine.leafCount(), coarse.leafCount());
+}
+
+TEST(RegressionTree, ValidatesInput)
+{
+    EXPECT_THROW(RegressionTree::fit({}, {}), std::invalid_argument);
+    EXPECT_THROW(RegressionTree::fit({{1.0}}, {1.0, 2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(RegressionTree::fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(RegressionTree::fit({{1.0}}, {1.0}, -1),
+                 std::invalid_argument);
+    EXPECT_THROW(RegressionTree::fit({{1.0}}, {1.0}, 3, 0),
+                 std::invalid_argument);
+}
+
+TEST(RegressionTree, PredictRejectsShortRows)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back({static_cast<double>(i), static_cast<double>(-i)});
+        y.push_back(i < 10 ? 0.0 : 1.0);
+    }
+    const auto tree = RegressionTree::fit(x, y, 3, 2);
+    EXPECT_THROW(tree.predict({}), std::invalid_argument);
+}
+
+TEST(WithSquares, AppendsSquares)
+{
+    const auto out = withSquares({2.0, -3.0});
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 2.0);
+    EXPECT_EQ(out[1], -3.0);
+    EXPECT_EQ(out[2], 4.0);
+    EXPECT_EQ(out[3], 9.0);
+}
+
+} // namespace
+} // namespace smite::stats

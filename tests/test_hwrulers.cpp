@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the real-hardware stressors and topology helpers. The
+ * stressor runs are kept very short; they assert liveness and
+ * plausibility, not absolute throughput.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwrulers/fu_stressors.h"
+#include "hwrulers/mem_stressors.h"
+#include "hwrulers/topology.h"
+
+namespace smite::hwrulers {
+namespace {
+
+TEST(Lfsr, MatchesFigure9Recurrence)
+{
+    // One step of state >> 1 ^ (-(state & 1) & 0xd0000001).
+    Lfsr32 lfsr(0x00000001u);
+    EXPECT_EQ(lfsr.next(), 0xd0000001u);
+    Lfsr32 even(0x00000010u);
+    EXPECT_EQ(even.next(), 0x00000008u);
+}
+
+TEST(Lfsr, LongPeriodNoShortCycle)
+{
+    Lfsr32 lfsr;
+    const std::uint32_t first = lfsr.next();
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_NE(lfsr.next(), first) << "short cycle at " << i;
+}
+
+TEST(Lfsr, ZeroSeedIsFixedUp)
+{
+    Lfsr32 lfsr(0);
+    EXPECT_NE(lfsr.next(), 0u);
+}
+
+class FuStressorRuns : public ::testing::TestWithParam<FuKind>
+{
+};
+
+TEST_P(FuStressorRuns, ProducesThroughput)
+{
+    const auto result = runFuStressor(GetParam(), 0.02);
+    EXPECT_GT(result.operations, 0u);
+    EXPECT_GT(result.opsPerSecond, 1e6);  // any real CPU exceeds this
+    EXPECT_GT(result.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, FuStressorRuns,
+                         ::testing::Values(FuKind::kFpMul,
+                                           FuKind::kFpAdd,
+                                           FuKind::kFpShf,
+                                           FuKind::kIntAdd));
+
+TEST(FuStressor, StopFlagCancels)
+{
+    std::atomic<bool> stop{true};
+    const auto result = runFuStressor(FuKind::kFpAdd, 10.0, &stop);
+    EXPECT_LT(result.seconds, 1.0);
+}
+
+TEST(MemStressor, RandomKernelRuns)
+{
+    const auto result = runMemRandomStressor(64 * 1024, 0.02);
+    EXPECT_GT(result.operations, 0u);
+    EXPECT_GT(result.opsPerSecond, 1e5);
+}
+
+TEST(MemStressor, StrideKernelRuns)
+{
+    const auto result = runMemStrideStressor(256 * 1024, 0.02);
+    EXPECT_GT(result.operations, 0u);
+}
+
+TEST(MemStressor, RejectsTinyFootprints)
+{
+    EXPECT_THROW(runMemRandomStressor(16, 0.01), std::invalid_argument);
+    EXPECT_THROW(runMemStrideStressor(64, 0.01), std::invalid_argument);
+}
+
+TEST(Topology, ParseCpuListFormats)
+{
+    using V = std::vector<int>;
+    EXPECT_EQ(CpuTopology::parseCpuList("0"), V({0}));
+    EXPECT_EQ(CpuTopology::parseCpuList("0-3"), V({0, 1, 2, 3}));
+    EXPECT_EQ(CpuTopology::parseCpuList("0,6"), V({0, 6}));
+    EXPECT_EQ(CpuTopology::parseCpuList("0-1,8,10-11"),
+              V({0, 1, 8, 10, 11}));
+    EXPECT_EQ(CpuTopology::parseCpuList(""), V());
+    EXPECT_EQ(CpuTopology::parseCpuList("junk"), V());
+}
+
+TEST(Topology, DetectFindsOnlineCpus)
+{
+    const CpuTopology topo = CpuTopology::detect();
+    // Any Linux host exposes at least one online CPU.
+    EXPECT_GE(topo.numLogicalCpus(), 1);
+    for (const auto &[a, b] : topo.smtSiblingPairs())
+        EXPECT_LT(a, b);
+}
+
+TEST(Topology, PinToCurrentCpuSucceeds)
+{
+    const CpuTopology topo = CpuTopology::detect();
+    if (topo.numLogicalCpus() > 0) {
+        EXPECT_TRUE(pinToCpu(topo.onlineCpus().front()));
+    }
+}
+
+} // namespace
+} // namespace smite::hwrulers

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Focused pipeline tests: fetch-budget sharing, scheduler depth,
+ * MSHR flow control, window capacity and in-order retirement — the
+ * mechanisms behind SMT interference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace smite::sim {
+namespace {
+
+/** Emits a fixed repeating pattern of uop types. */
+class PatternSource : public UopSource
+{
+  public:
+    explicit PatternSource(std::vector<Uop> pattern)
+        : pattern_(std::move(pattern))
+    {}
+
+    Uop
+    next() override
+    {
+        Uop uop = pattern_[cursor_ % pattern_.size()];
+        uop.pc = (cursor_ * 4) % 256;
+        ++cursor_;
+        return uop;
+    }
+
+    void reset() override { cursor_ = 0; }
+
+  private:
+    std::vector<Uop> pattern_;
+    std::size_t cursor_ = 0;
+};
+
+Uop
+makeUop(UopType type, std::uint8_t dep = 0, Addr addr = 0)
+{
+    Uop uop;
+    uop.type = type;
+    uop.srcDist1 = dep;
+    uop.addr = addr;
+    return uop;
+}
+
+TEST(Pipeline, NopsRunAtIssueWidth)
+{
+    // NOPs need no port: throughput = per-context issue width.
+    PatternSource nops({makeUop(UopType::kNop)});
+    MachineConfig config;
+    const auto c = Machine(config).runSolo(nops, 1000, 10000);
+    EXPECT_NEAR(c.ipc(), config.core.issuePerContext, 0.05);
+}
+
+TEST(Pipeline, SmtPairOfNopsSharesCoreBudget)
+{
+    // Two NOP streams want 4+4 = 8/cycle; the core allows
+    // min(fetchWidth, issuePerCore) total.
+    PatternSource a({makeUop(UopType::kNop)});
+    PatternSource b({makeUop(UopType::kNop)});
+    MachineConfig config;
+    const auto counters = Machine(config).runPairSmt(a, b, 1000, 10000);
+    const double combined = counters[0].ipc() + counters[1].ipc();
+    const double cap = std::min(config.core.fetchWidth,
+                                config.core.issuePerCore);
+    EXPECT_NEAR(combined, cap, 0.1);
+    // And the split is fair.
+    EXPECT_NEAR(counters[0].ipc(), counters[1].ipc(), 0.1);
+}
+
+TEST(Pipeline, MshrLimitBoundsMemoryLevelParallelism)
+{
+    // Independent cold loads: throughput = mshrs / dram latency.
+    std::vector<Uop> pattern;
+    for (int i = 0; i < 8; ++i)
+        pattern.push_back(makeUop(UopType::kLoad));
+    PatternSource loads(pattern);
+
+    MachineConfig few;
+    few.core.mshrs = 2;
+    MachineConfig many;
+    many.core.mshrs = 16;
+
+    // Cold loads forever: stride one line so every access misses.
+    class ColdLoads : public UopSource
+    {
+      public:
+        Uop
+        next() override
+        {
+            Uop uop = makeUop(UopType::kLoad, 0, cursor_ * kLineBytes);
+            uop.pc = 0;
+            cursor_ += 1;
+            return uop;
+        }
+        void reset() override { cursor_ = 1u << 20; }
+
+      private:
+        Addr cursor_ = 1u << 20;
+    };
+
+    ColdLoads a, b;
+    const double few_ipc = Machine(few).runSolo(a, 2000, 30000).ipc();
+    const double many_ipc = Machine(many).runSolo(b, 2000, 30000).ipc();
+    EXPECT_GT(many_ipc, 3.0 * few_ipc);
+}
+
+TEST(Pipeline, SchedulerDepthLimitsReordering)
+{
+    // A long-latency head op followed by many independent ops: a
+    // deep scheduler keeps issuing; a depth-1 scheduler stalls.
+    std::vector<Uop> pattern;
+    pattern.push_back(makeUop(UopType::kFpMul, 1));  // serial chain
+    for (int i = 0; i < 7; ++i)
+        pattern.push_back(makeUop(UopType::kIntAdd));
+    PatternSource a(pattern), b(pattern);
+
+    MachineConfig shallow;
+    shallow.core.schedDepth = 1;
+    MachineConfig deep;
+    deep.core.schedDepth = 48;
+
+    const double shallow_ipc =
+        Machine(shallow).runSolo(a, 1000, 20000).ipc();
+    const double deep_ipc =
+        Machine(deep).runSolo(b, 1000, 20000).ipc();
+    EXPECT_GT(deep_ipc, 1.5 * shallow_ipc);
+}
+
+TEST(Pipeline, WindowSizeBoundsMemoryLevelParallelism)
+{
+    // Blocks of one cold load plus 15 dependent ALU ops: a small
+    // window holds one block (one outstanding miss); a large window
+    // holds several (overlapped misses).
+    class MissBlocks : public UopSource
+    {
+      public:
+        Uop
+        next() override
+        {
+            const int phase = static_cast<int>(cursor_ % 16);
+            Uop uop = phase == 0
+                          ? makeUop(UopType::kLoad, 0,
+                                    cursor_ * kLineBytes)
+                          : makeUop(UopType::kIntAdd, 1);
+            uop.pc = 0;
+            ++cursor_;
+            return uop;
+        }
+        void reset() override { cursor_ = 1u << 22; }
+
+      private:
+        std::uint64_t cursor_ = 1u << 22;
+    };
+
+    MachineConfig small;
+    small.core.windowSize = 8;
+    small.core.schedDepth = 8;
+    MachineConfig large;
+
+    MissBlocks a, b;
+    const double small_ipc =
+        Machine(small).runSolo(a, 2000, 30000).ipc();
+    const double large_ipc =
+        Machine(large).runSolo(b, 2000, 30000).ipc();
+    EXPECT_GT(large_ipc, small_ipc * 2.0);
+}
+
+TEST(Pipeline, PortRotorSpreadsIntAddAcrossPorts)
+{
+    PatternSource adds({makeUop(UopType::kIntAdd)});
+    const auto c =
+        Machine(MachineConfig()).runSolo(adds, 1000, 10000);
+    // INT_ADD saturates ports 0, 1 and 5 roughly evenly.
+    EXPECT_NEAR(c.portUtilization(0), 1.0, 0.05);
+    EXPECT_NEAR(c.portUtilization(1), 1.0, 0.05);
+    EXPECT_NEAR(c.portUtilization(5), 1.0, 0.05);
+}
+
+TEST(Pipeline, LoadsUseBothLoadPorts)
+{
+    // L1-resident independent loads: two load ports allow 2/cycle.
+    class HotLoads : public UopSource
+    {
+      public:
+        Uop
+        next() override
+        {
+            Uop uop =
+                makeUop(UopType::kLoad, 0, (cursor_++ % 64) * 8);
+            uop.pc = 0;
+            return uop;
+        }
+        void reset() override { cursor_ = 0; }
+
+      private:
+        std::uint64_t cursor_ = 0;
+    };
+    HotLoads loads;
+    const auto c =
+        Machine(MachineConfig()).runSolo(loads, 2000, 20000);
+    EXPECT_NEAR(c.ipc(), 2.0, 0.1);
+    EXPECT_NEAR(c.portUtilization(2) + c.portUtilization(3), 2.0,
+                0.1);
+}
+
+TEST(Pipeline, InvalidWindowConfigurationRejected)
+{
+    MachineConfig config;
+    config.core.windowSize = 250;  // too large for the dep ring
+    PatternSource nops({makeUop(UopType::kNop)});
+    EXPECT_THROW(Machine(config).runSolo(nops, 10, 10),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace smite::sim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the cluster scale-out model and co-location policies
+ * using hand-built pairing tables (no simulation needed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scheduler/cluster.h"
+
+namespace smite::scheduler {
+namespace {
+
+/** A pairing whose QoS falls linearly with instance count. */
+Pairing
+linearPairing(const std::string &latency, const std::string &batch,
+              double actual_per_instance, double predicted_per_instance,
+              int max_instances = 6)
+{
+    Pairing p;
+    p.latencyApp = latency;
+    p.batchApp = batch;
+    for (int k = 1; k <= max_instances; ++k) {
+        CoLocationOption option;
+        option.actualQos = 1.0 - actual_per_instance * k;
+        option.predictedQos = 1.0 - predicted_per_instance * k;
+        p.byInstances.push_back(option);
+    }
+    return p;
+}
+
+Cluster
+simpleCluster(double actual_per_instance, double predicted_per_instance,
+              int servers = 100)
+{
+    return Cluster({linearPairing("svc", "batch", actual_per_instance,
+                                  predicted_per_instance)},
+                   {"svc"}, servers);
+}
+
+TEST(Cluster, RejectsEmptyConfiguration)
+{
+    EXPECT_THROW(Cluster({}, {"svc"}, 10), std::invalid_argument);
+    EXPECT_THROW(Cluster({linearPairing("svc", "b", 0.02, 0.02)},
+                         {"other"}, 10),
+                 std::invalid_argument);
+}
+
+TEST(Cluster, PerfectPredictionMatchesOracle)
+{
+    const Cluster cluster = simpleCluster(0.02, 0.02);
+    const auto smite = cluster.runPredictedPolicy(0.90);
+    const auto oracle = cluster.runOraclePolicy(0.90);
+    EXPECT_EQ(smite.totalInstances, oracle.totalInstances);
+    EXPECT_EQ(smite.violatedServers, 0);
+    EXPECT_EQ(oracle.violatedServers, 0);
+    // QoS 0.90 with 2% per instance admits exactly 5 instances.
+    EXPECT_NEAR(smite.meanInstances(), 5.0, 1e-9);
+}
+
+TEST(Cluster, OracleNeverViolates)
+{
+    // Badly misleading prediction does not matter for Oracle.
+    const Cluster cluster = simpleCluster(0.05, 0.01);
+    const auto oracle = cluster.runOraclePolicy(0.90);
+    EXPECT_EQ(oracle.violatedServers, 0);
+}
+
+TEST(Cluster, OptimisticPredictionCausesViolations)
+{
+    // Model thinks 1%/instance, reality is 5%/instance.
+    const Cluster cluster = simpleCluster(0.05, 0.01);
+    const auto smite = cluster.runPredictedPolicy(0.90);
+    // Policy admits 6 instances everywhere; actual QoS = 0.70 < 0.90.
+    EXPECT_EQ(smite.violatedServers, smite.coLocatedServers);
+    EXPECT_GT(smite.maxViolation, 0.2);
+}
+
+TEST(Cluster, PessimisticPredictionWastesUtilization)
+{
+    const Cluster cluster = simpleCluster(0.01, 0.05);
+    const auto smite = cluster.runPredictedPolicy(0.90);
+    const auto oracle = cluster.runOraclePolicy(0.90);
+    EXPECT_LT(smite.utilization(), oracle.utilization());
+    EXPECT_EQ(smite.violatedServers, 0);
+}
+
+TEST(Cluster, UtilizationAccounting)
+{
+    const Cluster cluster = simpleCluster(0.02, 0.02, 50);
+    const auto result = cluster.runPredictedPolicy(0.90);
+    // Baseline 6/12; with 5 instances per server: 11/12.
+    EXPECT_NEAR(result.utilization(), 11.0 / 12.0, 1e-9);
+    EXPECT_NEAR(result.utilizationImprovement(),
+                (11.0 / 12.0 - 0.5) / 0.5, 1e-9);
+}
+
+TEST(Cluster, StricterTargetsAdmitFewerInstances)
+{
+    const Cluster cluster = simpleCluster(0.03, 0.03);
+    const auto strict = cluster.runPredictedPolicy(0.95);
+    const auto loose = cluster.runPredictedPolicy(0.85);
+    EXPECT_LT(strict.meanInstances(), loose.meanInstances());
+}
+
+TEST(Cluster, RandomPolicyMatchesUtilizationTarget)
+{
+    const Cluster cluster = simpleCluster(0.02, 0.02, 500);
+    const auto smite = cluster.runPredictedPolicy(0.90);
+    const auto random =
+        cluster.runRandomPolicy(0.90, smite.totalInstances);
+    EXPECT_NEAR(random.totalInstances, smite.totalInstances, 1.0);
+}
+
+TEST(Cluster, RandomPolicyViolatesMoreThanInformedPolicy)
+{
+    // Reality: 3%/instance. A 0.94 target admits exactly 2.
+    const Cluster cluster = simpleCluster(0.03, 0.03, 2000);
+    const auto smite = cluster.runPredictedPolicy(0.94);
+    const auto random =
+        cluster.runRandomPolicy(0.94, smite.totalInstances);
+    EXPECT_EQ(smite.violatedServers, 0);
+    EXPECT_GT(random.violationRate(), 0.2);
+}
+
+TEST(Cluster, MultipleLatencyAppsPartitionServers)
+{
+    std::vector<Pairing> pairings = {
+        linearPairing("a", "x", 0.02, 0.02),
+        linearPairing("b", "x", 0.10, 0.10),
+    };
+    const Cluster cluster(pairings, {"a", "b"}, 100);
+    EXPECT_EQ(cluster.servers(), 200);
+    const auto result = cluster.runPredictedPolicy(0.90);
+    // App a admits 5 per server, app b admits 1: mean 3.
+    EXPECT_NEAR(result.meanInstances(), 3.0, 1e-9);
+}
+
+TEST(Cluster, RaggedTablesRejected)
+{
+    Pairing bad = linearPairing("svc", "b", 0.02, 0.02, 3);
+    EXPECT_THROW(Cluster({linearPairing("svc", "a", 0.02, 0.02, 6),
+                          bad},
+                         {"svc"}, 10),
+                 std::invalid_argument);
+}
+
+TEST(PolicyResult, ViolationRateHandlesNoCoLocations)
+{
+    PolicyResult r;
+    EXPECT_EQ(r.violationRate(), 0.0);
+    EXPECT_EQ(r.meanInstances(), 0.0);
+}
+
+} // namespace
+} // namespace smite::scheduler

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the tail-latency predictor (Equations 4-6 applied to
+ * workload queueing parameters).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/tail_latency.h"
+#include "workload/cloudsuite.h"
+#include "workload/spec2006.h"
+
+namespace smite::core {
+namespace {
+
+TEST(TailLatency, RequiresQueueingParameters)
+{
+    EXPECT_THROW(
+        TailLatencyPredictor(workload::spec2006::byName("429.mcf")),
+        std::invalid_argument);
+    EXPECT_NO_THROW(TailLatencyPredictor(
+        workload::cloudsuite::byName("Web-Search")));
+}
+
+TEST(TailLatency, SoloPercentileMatchesClosedForm)
+{
+    const auto &ws = workload::cloudsuite::byName("Web-Search");
+    const TailLatencyPredictor predictor(ws);
+    const double expected = -std::log(1.0 - 0.9) /
+                            (ws.serviceRate - ws.arrivalRate);
+    EXPECT_NEAR(predictor.soloPercentile(0.9), expected, 1e-12);
+}
+
+TEST(TailLatency, PredictionGrowsWithDegradation)
+{
+    const TailLatencyPredictor predictor(
+        workload::cloudsuite::byName("Data-Caching"));
+    const double t0 = predictor.predictPercentile(0.9, 0.0);
+    const double t1 = predictor.predictPercentile(0.9, 0.1);
+    const double t2 = predictor.predictPercentile(0.9, 0.2);
+    EXPECT_GT(t1, t0);
+    EXPECT_GT(t2, t1);
+    // Super-linear growth: the queueing amplification the paper
+    // leans on in Section IV-D.
+    EXPECT_GT(t2 - t1, t1 - t0);
+}
+
+TEST(TailLatency, NegativePredictionClampedToSolo)
+{
+    const TailLatencyPredictor predictor(
+        workload::cloudsuite::byName("Data-Caching"));
+    EXPECT_NEAR(predictor.predictPercentile(0.9, -0.05),
+                predictor.soloPercentile(0.9), 1e-12);
+}
+
+TEST(TailLatency, MeasuredPercentileTracksClosedForm)
+{
+    const TailLatencyPredictor predictor(
+        workload::cloudsuite::byName("Web-Search"));
+    const double deg = 0.15;
+    const double measured =
+        predictor.measurePercentile(0.9, deg, 300000, 3);
+    const double analytic = predictor.predictPercentile(0.9, deg);
+    EXPECT_NEAR(measured / analytic, 1.0, 0.08);
+}
+
+TEST(TailLatency, MeasureRejectsFullDegradation)
+{
+    const TailLatencyPredictor predictor(
+        workload::cloudsuite::byName("Web-Search"));
+    EXPECT_THROW(predictor.measurePercentile(0.9, 1.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace smite::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the Barroso-Hölzle TCO model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tco/tco.h"
+
+namespace smite::tco {
+namespace {
+
+TEST(Tco, ValidatesParameters)
+{
+    TcoParams p;
+    p.serverAmortYears = 0;
+    EXPECT_THROW(TcoModel{p}, std::invalid_argument);
+    p = TcoParams();
+    p.serverPeakWatts = 50;  // below idle
+    EXPECT_THROW(TcoModel{p}, std::invalid_argument);
+    p = TcoParams();
+    p.pue = 0.9;
+    EXPECT_THROW(TcoModel{p}, std::invalid_argument);
+}
+
+TEST(Tco, PowerInterpolatesBetweenIdleAndPeak)
+{
+    const TcoModel model;
+    const TcoParams &p = model.params();
+    EXPECT_NEAR(model.serverPower(0.0), p.serverIdleWatts, 1e-9);
+    EXPECT_NEAR(model.serverPower(1.0), p.serverPeakWatts, 1e-9);
+    EXPECT_NEAR(model.serverPower(0.5),
+                (p.serverIdleWatts + p.serverPeakWatts) / 2, 1e-9);
+    EXPECT_THROW(model.serverPower(1.5), std::invalid_argument);
+}
+
+TEST(Tco, CostScalesWithServers)
+{
+    const TcoModel model;
+    const double one = model.horizonCost(1000, 0.6);
+    const double two = model.horizonCost(2000, 0.6);
+    EXPECT_NEAR(two / one, 2.0, 1e-9);
+}
+
+TEST(Tco, FewerBusierServersAreCheaper)
+{
+    // The core consolidation argument: the same work on fewer,
+    // better-utilized servers costs less.
+    const TcoModel model;
+    const double spread = model.horizonCost(2000, 0.5);
+    const double packed = model.horizonCost(1500, 0.75);
+    EXPECT_LT(packed, spread);
+}
+
+TEST(Tco, HigherUtilizationCostsOnlyEnergy)
+{
+    const TcoModel model;
+    const double low = model.horizonCost(1000, 0.5);
+    const double high = model.horizonCost(1000, 1.0);
+    EXPECT_GT(high, low);
+    // The delta must be exactly the extra energy.
+    const TcoParams &p = model.params();
+    const double extra_watts =
+        1000 * (model.serverPower(1.0) - model.serverPower(0.5)) *
+        p.pue;
+    const double extra_cost = extra_watts / 1000.0 * 24 * 365 *
+                              p.horizonYears * p.electricityPerKwh;
+    EXPECT_NEAR(high - low, extra_cost, 1e-6);
+}
+
+TEST(Tco, PueAmplifiesEnergyAndProvisioning)
+{
+    TcoParams efficient;
+    efficient.pue = 1.1;
+    TcoParams wasteful;
+    wasteful.pue = 2.0;
+    const double cost_eff =
+        TcoModel(efficient).horizonCost(1000, 0.6);
+    const double cost_bad =
+        TcoModel(wasteful).horizonCost(1000, 0.6);
+    EXPECT_GT(cost_bad, cost_eff);
+}
+
+TEST(Tco, RejectsNegativeServerCount)
+{
+    EXPECT_THROW(TcoModel().horizonCost(-1, 0.5),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace smite::tco

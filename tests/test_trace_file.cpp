@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for trace capture and replay.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/spec2006.h"
+#include "workload/trace_file.h"
+
+namespace smite::workload {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        for (const auto &p : created_)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    path(const char *name)
+    {
+        created_.push_back(tempPath(name));
+        return created_.back();
+    }
+
+  private:
+    std::vector<std::string> created_;
+};
+
+TEST_F(TraceFileTest, RoundTripPreservesUops)
+{
+    const auto &profile = spec2006::byName("403.gcc");
+    ProfileUopSource source(profile, 11);
+    const std::string file = path("smite_trace_roundtrip.txt");
+    recordTrace(source, 5000, file);
+
+    ProfileUopSource reference(profile, 11);
+    TraceReplaySource replay(file);
+    ASSERT_EQ(replay.traceLength(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+        const sim::Uop expected = reference.next();
+        const sim::Uop got = replay.next();
+        ASSERT_EQ(got.type, expected.type) << i;
+        ASSERT_EQ(got.srcDist1, expected.srcDist1) << i;
+        ASSERT_EQ(got.srcDist2, expected.srcDist2) << i;
+        ASSERT_EQ(got.mispredict, expected.mispredict) << i;
+        ASSERT_EQ(got.addr, expected.addr) << i;
+        ASSERT_EQ(got.pc, expected.pc) << i;
+    }
+}
+
+TEST_F(TraceFileTest, ReplayLoops)
+{
+    std::vector<sim::Uop> uops(3);
+    uops[0].type = sim::UopType::kFpMul;
+    uops[1].type = sim::UopType::kLoad;
+    uops[2].type = sim::UopType::kBranch;
+    TraceReplaySource replay(uops);
+    for (int loop = 0; loop < 3; ++loop) {
+        EXPECT_EQ(replay.next().type, sim::UopType::kFpMul);
+        EXPECT_EQ(replay.next().type, sim::UopType::kLoad);
+        EXPECT_EQ(replay.next().type, sim::UopType::kBranch);
+    }
+    replay.next();
+    replay.reset();
+    EXPECT_EQ(replay.next().type, sim::UopType::kFpMul);
+}
+
+TEST_F(TraceFileTest, RejectsMissingFile)
+{
+    EXPECT_THROW(TraceReplaySource("/nonexistent/trace.txt"),
+                 std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsWrongHeader)
+{
+    const std::string file = path("smite_trace_bad_header.txt");
+    std::ofstream(file) << "not a trace\n0 0 0 0 0 0\n";
+    EXPECT_THROW(TraceReplaySource{file}, std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsMalformedRecord)
+{
+    const std::string file = path("smite_trace_bad_record.txt");
+    std::ofstream(file) << "smite-trace v1\n9999 0 0 0 0 0\n";
+    EXPECT_THROW(TraceReplaySource{file}, std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsEmptyTrace)
+{
+    const std::string file = path("smite_trace_empty.txt");
+    std::ofstream(file) << "smite-trace v1\n";
+    EXPECT_THROW(TraceReplaySource{file}, std::runtime_error);
+    EXPECT_THROW(TraceReplaySource{std::vector<sim::Uop>{}},
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace smite::workload
