@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dimensions.dir/bench_ablation_dimensions.cpp.o"
+  "CMakeFiles/bench_ablation_dimensions.dir/bench_ablation_dimensions.cpp.o.d"
+  "bench_ablation_dimensions"
+  "bench_ablation_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

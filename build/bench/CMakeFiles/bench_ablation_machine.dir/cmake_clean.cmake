@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_machine.dir/bench_ablation_machine.cpp.o"
+  "CMakeFiles/bench_ablation_machine.dir/bench_ablation_machine.cpp.o.d"
+  "bench_ablation_machine"
+  "bench_ablation_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_selection.dir/bench_baseline_selection.cpp.o"
+  "CMakeFiles/bench_baseline_selection.dir/bench_baseline_selection.cpp.o.d"
+  "bench_baseline_selection"
+  "bench_baseline_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_fu_sensitivity.dir/bench_fig02_fu_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig02_fu_sensitivity.dir/bench_fig02_fu_sensitivity.cpp.o.d"
+  "bench_fig02_fu_sensitivity"
+  "bench_fig02_fu_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_fu_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

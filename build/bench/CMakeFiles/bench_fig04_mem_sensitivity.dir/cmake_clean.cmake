@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_mem_sensitivity.dir/bench_fig04_mem_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig04_mem_sensitivity.dir/bench_fig04_mem_sensitivity.cpp.o.d"
+  "bench_fig04_mem_sensitivity"
+  "bench_fig04_mem_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_mem_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_characterization_summary.dir/bench_fig06_characterization_summary.cpp.o"
+  "CMakeFiles/bench_fig06_characterization_summary.dir/bench_fig06_characterization_summary.cpp.o.d"
+  "bench_fig06_characterization_summary"
+  "bench_fig06_characterization_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_characterization_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_utilization_avgperf.dir/bench_fig14_utilization_avgperf.cpp.o"
+  "CMakeFiles/bench_fig14_utilization_avgperf.dir/bench_fig14_utilization_avgperf.cpp.o.d"
+  "bench_fig14_utilization_avgperf"
+  "bench_fig14_utilization_avgperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_utilization_avgperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_violations_tail.dir/bench_fig17_violations_tail.cpp.o"
+  "CMakeFiles/bench_fig17_violations_tail.dir/bench_fig17_violations_tail.cpp.o.d"
+  "bench_fig17_violations_tail"
+  "bench_fig17_violations_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_violations_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ruler_linearity.dir/bench_ruler_linearity.cpp.o"
+  "CMakeFiles/bench_ruler_linearity.dir/bench_ruler_linearity.cpp.o.d"
+  "bench_ruler_linearity"
+  "bench_ruler_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ruler_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

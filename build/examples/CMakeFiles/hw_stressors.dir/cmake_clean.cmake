@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_stressors.dir/hw_stressors.cpp.o"
+  "CMakeFiles/hw_stressors.dir/hw_stressors.cpp.o.d"
+  "hw_stressors"
+  "hw_stressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_stressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterize.cpp" "src/core/CMakeFiles/smite_core.dir/characterize.cpp.o" "gcc" "src/core/CMakeFiles/smite_core.dir/characterize.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/smite_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/smite_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/pmu_model.cpp" "src/core/CMakeFiles/smite_core.dir/pmu_model.cpp.o" "gcc" "src/core/CMakeFiles/smite_core.dir/pmu_model.cpp.o.d"
+  "/root/repo/src/core/sensitivity_curve.cpp" "src/core/CMakeFiles/smite_core.dir/sensitivity_curve.cpp.o" "gcc" "src/core/CMakeFiles/smite_core.dir/sensitivity_curve.cpp.o.d"
+  "/root/repo/src/core/smite_model.cpp" "src/core/CMakeFiles/smite_core.dir/smite_model.cpp.o" "gcc" "src/core/CMakeFiles/smite_core.dir/smite_model.cpp.o.d"
+  "/root/repo/src/core/tail_latency.cpp" "src/core/CMakeFiles/smite_core.dir/tail_latency.cpp.o" "gcc" "src/core/CMakeFiles/smite_core.dir/tail_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smite_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smite_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rulers/CMakeFiles/smite_rulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/smite_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/smite_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite_core.dir/characterize.cpp.o"
+  "CMakeFiles/smite_core.dir/characterize.cpp.o.d"
+  "CMakeFiles/smite_core.dir/experiment.cpp.o"
+  "CMakeFiles/smite_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/smite_core.dir/pmu_model.cpp.o"
+  "CMakeFiles/smite_core.dir/pmu_model.cpp.o.d"
+  "CMakeFiles/smite_core.dir/sensitivity_curve.cpp.o"
+  "CMakeFiles/smite_core.dir/sensitivity_curve.cpp.o.d"
+  "CMakeFiles/smite_core.dir/smite_model.cpp.o"
+  "CMakeFiles/smite_core.dir/smite_model.cpp.o.d"
+  "CMakeFiles/smite_core.dir/tail_latency.cpp.o"
+  "CMakeFiles/smite_core.dir/tail_latency.cpp.o.d"
+  "libsmite_core.a"
+  "libsmite_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

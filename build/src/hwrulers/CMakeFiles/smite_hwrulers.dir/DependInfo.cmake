@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwrulers/fu_stressors.cpp" "src/hwrulers/CMakeFiles/smite_hwrulers.dir/fu_stressors.cpp.o" "gcc" "src/hwrulers/CMakeFiles/smite_hwrulers.dir/fu_stressors.cpp.o.d"
+  "/root/repo/src/hwrulers/mem_stressors.cpp" "src/hwrulers/CMakeFiles/smite_hwrulers.dir/mem_stressors.cpp.o" "gcc" "src/hwrulers/CMakeFiles/smite_hwrulers.dir/mem_stressors.cpp.o.d"
+  "/root/repo/src/hwrulers/topology.cpp" "src/hwrulers/CMakeFiles/smite_hwrulers.dir/topology.cpp.o" "gcc" "src/hwrulers/CMakeFiles/smite_hwrulers.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite_hwrulers.dir/fu_stressors.cpp.o"
+  "CMakeFiles/smite_hwrulers.dir/fu_stressors.cpp.o.d"
+  "CMakeFiles/smite_hwrulers.dir/mem_stressors.cpp.o"
+  "CMakeFiles/smite_hwrulers.dir/mem_stressors.cpp.o.d"
+  "CMakeFiles/smite_hwrulers.dir/topology.cpp.o"
+  "CMakeFiles/smite_hwrulers.dir/topology.cpp.o.d"
+  "libsmite_hwrulers.a"
+  "libsmite_hwrulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite_hwrulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

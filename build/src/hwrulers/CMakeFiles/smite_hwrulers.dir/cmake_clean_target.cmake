@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmite_hwrulers.a"
+)

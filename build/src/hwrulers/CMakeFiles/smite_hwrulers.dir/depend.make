@@ -1,0 +1,2 @@
+# Empty dependencies file for smite_hwrulers.
+# This may be replaced when dependencies are built.

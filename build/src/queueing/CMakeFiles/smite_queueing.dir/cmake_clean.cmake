@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite_queueing.dir/des.cpp.o"
+  "CMakeFiles/smite_queueing.dir/des.cpp.o.d"
+  "CMakeFiles/smite_queueing.dir/mm1.cpp.o"
+  "CMakeFiles/smite_queueing.dir/mm1.cpp.o.d"
+  "libsmite_queueing.a"
+  "libsmite_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

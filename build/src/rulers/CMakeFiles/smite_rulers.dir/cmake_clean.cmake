@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite_rulers.dir/ruler.cpp.o"
+  "CMakeFiles/smite_rulers.dir/ruler.cpp.o.d"
+  "libsmite_rulers.a"
+  "libsmite_rulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite_rulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

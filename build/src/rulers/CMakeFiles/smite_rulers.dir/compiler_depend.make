@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for smite_rulers.
+# This may be replaced when dependencies are built.

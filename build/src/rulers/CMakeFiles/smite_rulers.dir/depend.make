@@ -1,0 +1,2 @@
+# Empty dependencies file for smite_rulers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite_scheduler.dir/cluster.cpp.o"
+  "CMakeFiles/smite_scheduler.dir/cluster.cpp.o.d"
+  "libsmite_scheduler.a"
+  "libsmite_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/smite_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/smite_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/smite_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/smite_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/context.cpp" "src/sim/CMakeFiles/smite_sim.dir/context.cpp.o" "gcc" "src/sim/CMakeFiles/smite_sim.dir/context.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/smite_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/smite_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/smite_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/smite_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/smt_core.cpp" "src/sim/CMakeFiles/smite_sim.dir/smt_core.cpp.o" "gcc" "src/sim/CMakeFiles/smite_sim.dir/smt_core.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/sim/CMakeFiles/smite_sim.dir/tlb.cpp.o" "gcc" "src/sim/CMakeFiles/smite_sim.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

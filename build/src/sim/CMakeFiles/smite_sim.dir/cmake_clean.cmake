@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite_sim.dir/cache.cpp.o"
+  "CMakeFiles/smite_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/smite_sim.dir/config.cpp.o"
+  "CMakeFiles/smite_sim.dir/config.cpp.o.d"
+  "CMakeFiles/smite_sim.dir/context.cpp.o"
+  "CMakeFiles/smite_sim.dir/context.cpp.o.d"
+  "CMakeFiles/smite_sim.dir/machine.cpp.o"
+  "CMakeFiles/smite_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/smite_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/smite_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/smite_sim.dir/smt_core.cpp.o"
+  "CMakeFiles/smite_sim.dir/smt_core.cpp.o.d"
+  "CMakeFiles/smite_sim.dir/tlb.cpp.o"
+  "CMakeFiles/smite_sim.dir/tlb.cpp.o.d"
+  "libsmite_sim.a"
+  "libsmite_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

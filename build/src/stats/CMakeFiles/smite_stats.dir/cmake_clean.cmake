@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite_stats.dir/correlation.cpp.o"
+  "CMakeFiles/smite_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/smite_stats.dir/decision_tree.cpp.o"
+  "CMakeFiles/smite_stats.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/smite_stats.dir/regression.cpp.o"
+  "CMakeFiles/smite_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/smite_stats.dir/summary.cpp.o"
+  "CMakeFiles/smite_stats.dir/summary.cpp.o.d"
+  "libsmite_stats.a"
+  "libsmite_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

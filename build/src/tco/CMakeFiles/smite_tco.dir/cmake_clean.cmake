@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite_tco.dir/tco.cpp.o"
+  "CMakeFiles/smite_tco.dir/tco.cpp.o.d"
+  "libsmite_tco.a"
+  "libsmite_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

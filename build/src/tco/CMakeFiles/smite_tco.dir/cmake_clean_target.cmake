@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmite_tco.a"
+)

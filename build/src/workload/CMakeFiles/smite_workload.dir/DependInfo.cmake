@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cloudsuite.cpp" "src/workload/CMakeFiles/smite_workload.dir/cloudsuite.cpp.o" "gcc" "src/workload/CMakeFiles/smite_workload.dir/cloudsuite.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/smite_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/smite_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/spec2006.cpp" "src/workload/CMakeFiles/smite_workload.dir/spec2006.cpp.o" "gcc" "src/workload/CMakeFiles/smite_workload.dir/spec2006.cpp.o.d"
+  "/root/repo/src/workload/trace_file.cpp" "src/workload/CMakeFiles/smite_workload.dir/trace_file.cpp.o" "gcc" "src/workload/CMakeFiles/smite_workload.dir/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smite_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite_workload.dir/cloudsuite.cpp.o"
+  "CMakeFiles/smite_workload.dir/cloudsuite.cpp.o.d"
+  "CMakeFiles/smite_workload.dir/generator.cpp.o"
+  "CMakeFiles/smite_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/smite_workload.dir/spec2006.cpp.o"
+  "CMakeFiles/smite_workload.dir/spec2006.cpp.o.d"
+  "CMakeFiles/smite_workload.dir/trace_file.cpp.o"
+  "CMakeFiles/smite_workload.dir/trace_file.cpp.o.d"
+  "libsmite_workload.a"
+  "libsmite_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

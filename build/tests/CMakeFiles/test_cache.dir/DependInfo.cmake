@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smite_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/smite_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/smite_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwrulers/CMakeFiles/smite_hwrulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/rulers/CMakeFiles/smite_rulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/smite_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/smite_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smite_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smite_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwrulers.dir/test_hwrulers.cpp.o"
+  "CMakeFiles/test_hwrulers.dir/test_hwrulers.cpp.o.d"
+  "test_hwrulers"
+  "test_hwrulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwrulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

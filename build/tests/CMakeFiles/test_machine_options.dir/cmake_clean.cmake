@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_options.dir/test_machine_options.cpp.o"
+  "CMakeFiles/test_machine_options.dir/test_machine_options.cpp.o.d"
+  "test_machine_options"
+  "test_machine_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rulers.dir/test_rulers.cpp.o"
+  "CMakeFiles/test_rulers.dir/test_rulers.cpp.o.d"
+  "test_rulers"
+  "test_rulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

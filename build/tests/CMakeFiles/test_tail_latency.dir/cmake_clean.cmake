@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tail_latency.dir/test_tail_latency.cpp.o"
+  "CMakeFiles/test_tail_latency.dir/test_tail_latency.cpp.o.d"
+  "test_tail_latency"
+  "test_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

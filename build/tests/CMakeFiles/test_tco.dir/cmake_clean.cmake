@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tco.dir/test_tco.cpp.o"
+  "CMakeFiles/test_tco.dir/test_tco.cpp.o.d"
+  "test_tco"
+  "test_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

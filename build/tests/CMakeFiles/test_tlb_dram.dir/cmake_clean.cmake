@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb_dram.dir/test_tlb_dram.cpp.o"
+  "CMakeFiles/test_tlb_dram.dir/test_tlb_dram.cpp.o.d"
+  "test_tlb_dram"
+  "test_tlb_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uop.dir/test_uop.cpp.o"
+  "CMakeFiles/test_uop.dir/test_uop.cpp.o.d"
+  "test_uop"
+  "test_uop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

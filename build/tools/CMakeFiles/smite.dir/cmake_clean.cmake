@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smite.dir/smite_cli.cpp.o"
+  "CMakeFiles/smite.dir/smite_cli.cpp.o.d"
+  "smite"
+  "smite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
