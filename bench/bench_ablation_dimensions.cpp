@@ -87,6 +87,14 @@ main()
 
     core::Lab lab = bench::makeLab(sim::MachineConfig::ivyBridge());
 
+    // All five cases reuse the same characterizations and pair
+    // measurements; fan them out once up front.
+    const auto mode = core::CoLocationMode::kSmt;
+    lab.characterizeAll(workload::spec2006::evenNumbered(), mode);
+    lab.characterizeAll(workload::spec2006::oddNumbered(), mode);
+    lab.measureAllPairs(workload::spec2006::evenNumbered(), mode);
+    lab.measureAllPairs(workload::spec2006::oddNumbered(), mode);
+
     struct Case {
         const char *name;
         std::vector<int> dims;

@@ -13,6 +13,7 @@
  */
 
 #include "bench/common.h"
+#include "core/parallel.h"
 
 using namespace smite;
 
@@ -30,6 +31,35 @@ runMode(core::Lab &lab, core::CoLocationMode mode, int threads,
                 threads);
     const core::SmiteModel smite = lab.trainSmite(train, mode);
     const core::PmuModel pmu = lab.trainPmu(train, mode);
+
+    // Fan out everything the reporting loop needs: test-set and
+    // CloudSuite characterizations, and the full (latency app, batch,
+    // instance-count) measurement grid — all independent simulations.
+    const auto clouds = workload::cloudsuite::all();
+    lab.characterizeAll(test, mode);
+    lab.pmuProfileAll(test);
+    lab.characterizeAll(clouds, mode, threads);
+    lab.pmuProfileAll(clouds);
+    struct Task {
+        const workload::WorkloadProfile *cloud;
+        const workload::WorkloadProfile *batch;
+        int instances;
+    };
+    std::vector<Task> grid;
+    for (const auto &cloud : clouds) {
+        for (const auto &batch : test) {
+            for (int k = 1; k <= threads; ++k)
+                grid.push_back(Task{&cloud, &batch, k});
+        }
+    }
+    core::parallelFor(
+        grid.size(),
+        [&](std::size_t i) {
+            lab.multiInstanceDegradation(*grid[i].cloud, threads,
+                                         *grid[i].batch,
+                                         grid[i].instances, mode);
+        },
+        lab.parallelism());
 
     std::printf("%-16s %8s %8s %8s %12s %10s\n", "latency app",
                 "min deg", "avg deg", "max deg", "SMiTe err",

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite (parallel ctest), then
+# a ThreadSanitizer pass over the parallel measurement engine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+# Data-race check: the parallel engine's tests under TSan.
+cmake -B build-tsan -S . -DSMITE_TSAN=ON
+cmake --build build-tsan -j"$JOBS" --target test_parallel
+./build-tsan/tests/test_parallel

@@ -62,27 +62,23 @@ double
 Characterizer::rulerBaseline(size_t d, CoLocationMode mode,
                              int threads) const
 {
-    const std::string key = std::to_string(d) + "#" + modeName(mode) +
-                            "#" + std::to_string(threads);
-    const auto it = baselineCache_.find(key);
-    if (it != baselineCache_.end())
-        return it->second;
-
-    const rulers::Ruler &ruler = suite_[d];
-    std::vector<std::unique_ptr<sim::UopSource>> sources;
-    std::vector<sim::Placement> placements;
-    for (int t = 0; t < threads; ++t) {
-        sources.push_back(ruler.makeSource());
-        placements.push_back(
-            mode == CoLocationMode::kSmt
-                ? sim::Placement{t, 1, sources.back().get()}
-                : sim::Placement{threads + t, 0,
-                                 sources.back().get()});
-    }
-    const auto counters = machine_.run(placements, warmup_, measure_);
-    const double ipc = aggregateIpc(counters, 0, counters.size());
-    baselineCache_.emplace(key, ipc);
-    return ipc;
+    return baselineCache_.getOrCompute(
+        BaselineKey{d, mode, threads}, [&] {
+            const rulers::Ruler &ruler = suite_[d];
+            std::vector<std::unique_ptr<sim::UopSource>> sources;
+            std::vector<sim::Placement> placements;
+            for (int t = 0; t < threads; ++t) {
+                sources.push_back(ruler.makeSource());
+                placements.push_back(
+                    mode == CoLocationMode::kSmt
+                        ? sim::Placement{t, 1, sources.back().get()}
+                        : sim::Placement{threads + t, 0,
+                                         sources.back().get()});
+            }
+            const auto counters =
+                machine_.run(placements, warmup_, measure_);
+            return aggregateIpc(counters, 0, counters.size());
+        });
 }
 
 Characterization

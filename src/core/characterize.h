@@ -13,10 +13,11 @@
 #define SMITE_CORE_CHARACTERIZE_H
 
 #include <array>
-#include <map>
-#include <string>
+#include <cstdint>
+#include <tuple>
 #include <vector>
 
+#include "core/memo_cache.h"
 #include "rulers/ruler.h"
 #include "sim/machine.h"
 #include "workload/generator.h"
@@ -86,18 +87,26 @@ class Characterizer
     /** The machine under test. */
     const sim::Machine &machine() const { return machine_; }
 
+    /**
+     * Aggregate IPC of @p threads instances of Ruler @p d running
+     * alone in their co-location slots. Independent of the
+     * application, so memoized across characterize() calls
+     * (thread-safe, single-flight). Public so batch drivers can warm
+     * all dimensions in parallel before fanning out applications.
+     */
+    double rulerBaseline(size_t d, CoLocationMode mode,
+                         int threads) const;
+
+    /** Baseline simulations actually run (memo-cache misses). */
+    std::uint64_t baselineComputeCount() const
+    {
+        return baselineCache_.computeCount();
+    }
+
   private:
     /** Placements of an N-thread app (context 0 of cores 0..N-1). */
     std::vector<sim::Placement>
     appPlacements(std::vector<workload::ProfileUopSource> &threads) const;
-
-    /**
-     * Aggregate IPC of @p threads instances of Ruler @p d running
-     * alone in their co-location slots. Independent of the
-     * application, so memoized across characterize() calls.
-     */
-    double rulerBaseline(size_t d, CoLocationMode mode,
-                         int threads) const;
 
     const sim::Machine &machine_;
     std::vector<rulers::Ruler> suite_;
@@ -105,7 +114,8 @@ class Characterizer
     sim::Cycle measure_;
 
     /** (dimension, mode, threads) -> baseline aggregate IPC. */
-    mutable std::map<std::string, double> baselineCache_;
+    using BaselineKey = std::tuple<std::size_t, CoLocationMode, int>;
+    mutable MemoCache<BaselineKey, double> baselineCache_;
 };
 
 } // namespace smite::core

@@ -1,13 +1,46 @@
 #include "core/experiment.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "workload/generator.h"
 
 namespace smite::core {
+
+namespace {
+
+/**
+ * Version header of the disk-cache format. Files without it are read
+ * as the legacy (v1, headerless) format; bump the version when a
+ * record's shape changes so stale files are not silently misparsed.
+ */
+constexpr const char *kCacheHeader = "smite-lab-cache v2";
+
+/** Format doubles for the cache file at full precision. */
+std::string
+formatValues(std::initializer_list<double> values)
+{
+    std::ostringstream out;
+    out.precision(17);
+    for (double v : values)
+        out << " " << v;
+    return out.str();
+}
+
+/** True if the stream has no tokens left (trailing garbage check). */
+bool
+exhausted(std::istream &in)
+{
+    std::string extra;
+    return !(in >> extra);
+}
+
+} // namespace
 
 Lab::Lab(const sim::MachineConfig &config, sim::Cycle warmup,
          sim::Cycle measure)
@@ -15,6 +48,19 @@ Lab::Lab(const sim::MachineConfig &config, sim::Cycle warmup,
       characterizer_(machine_, suite_, warmup, measure),
       warmup_(warmup), measure_(measure)
 {
+}
+
+Lab::Lab(const sim::MachineConfig &config, const std::string &cache_path,
+         sim::Cycle warmup, sim::Cycle measure)
+    : Lab(config, warmup, measure)
+{
+    enableDiskCache(cache_path);
+}
+
+int
+Lab::parallelism() const
+{
+    return parallelism_ > 0 ? parallelism_ : defaultThreadCount();
 }
 
 std::string
@@ -29,6 +75,9 @@ Lab::appendToDisk(const std::string &line)
 {
     if (diskCachePath_.empty())
         return;
+    // One writer at a time keeps the write-through log line-atomic
+    // when batch measurements land from several threads.
+    std::lock_guard<std::mutex> lock(diskMu_);
     std::ofstream out(diskCachePath_, std::ios::app);
     out.precision(17);
     out << line << "\n";
@@ -39,37 +88,73 @@ Lab::loadDiskCache(const std::string &path)
 {
     std::ifstream in(path);
     std::string line;
+    std::size_t lineno = 0;
+    bool first = true;
+    auto warn = [&](const char *what) {
+        std::fprintf(stderr,
+                     "smite: disk cache %s:%zu: skipping %s line\n",
+                     path.c_str(), lineno, what);
+    };
     while (std::getline(in, line)) {
+        ++lineno;
+        if (first) {
+            first = false;
+            if (line == kCacheHeader)
+                continue;  // current format
+            if (line.rfind("smite-lab-cache", 0) == 0) {
+                std::fprintf(stderr,
+                             "smite: disk cache %s: unknown version "
+                             "'%s', reading best-effort\n",
+                             path.c_str(), line.c_str());
+                continue;
+            }
+            // No header: legacy v1 file; fall through and parse the
+            // line as a record.
+        }
+        if (line.empty())
+            continue;
         std::istringstream row(line);
         std::string kind, key;
-        if (!(row >> kind >> key))
+        if (!(row >> kind >> key)) {
+            warn("unparseable");
             continue;
+        }
         if (kind == "solo") {
             double v;
-            if (row >> v)
-                soloIpcCache_[key] = v;
+            if (row >> v && exhausted(row))
+                soloIpcCache_.put(key, v);
+            else
+                warn("truncated 'solo'");
         } else if (kind == "pair") {
             double a, b;
-            if (row >> a >> b)
-                pairCache_[key] = {a, b};
+            if (row >> a >> b && exhausted(row))
+                pairCache_.put(key, {a, b});
+            else
+                warn("truncated 'pair'");
         } else if (kind == "multi") {
             double v;
-            if (row >> v)
-                multiCache_[key] = v;
+            if (row >> v && exhausted(row))
+                multiCache_.put(key, v);
+            else
+                warn("truncated 'multi'");
         } else if (kind == "pmu") {
             PmuProfile p{};
             bool ok = true;
             for (double &v : p)
                 ok = ok && static_cast<bool>(row >> v);
-            if (ok)
-                pmuCache_[key] = p;
+            if (ok && exhausted(row))
+                pmuCache_.put(key, p);
+            else
+                warn("truncated 'pmu'");
         } else if (kind == "ports") {
             std::array<double, sim::kNumPorts> utilization{};
             bool ok = true;
             for (double &v : utilization)
                 ok = ok && static_cast<bool>(row >> v);
-            if (ok)
-                portCache_[key] = utilization;
+            if (ok && exhausted(row))
+                portCache_.put(key, utilization);
+            else
+                warn("truncated 'ports'");
         } else if (kind == "char") {
             Characterization c;
             bool ok = true;
@@ -77,8 +162,12 @@ Lab::loadDiskCache(const std::string &path)
                 ok = ok && static_cast<bool>(row >> v);
             for (double &v : c.contentiousness)
                 ok = ok && static_cast<bool>(row >> v);
-            if (ok)
-                characterizationCache_[key] = c;
+            if (ok && exhausted(row))
+                characterizationCache_.put(key, c);
+            else
+                warn("truncated 'char'");
+        } else {
+            warn("unrecognized");
         }
     }
 }
@@ -88,63 +177,49 @@ Lab::enableDiskCache(const std::string &path)
 {
     loadDiskCache(path);
     diskCachePath_ = path;
+    // Stamp new (or empty) files with the format version so future
+    // readers can reject records whose shape has since changed.
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) ||
+        std::filesystem::file_size(path, ec) == 0) {
+        std::lock_guard<std::mutex> lock(diskMu_);
+        std::ofstream out(path, std::ios::app);
+        out << kCacheHeader << "\n";
+    }
 }
-
-namespace {
-
-/** Format doubles for the cache file at full precision. */
-std::string
-formatValues(std::initializer_list<double> values)
-{
-    std::ostringstream out;
-    out.precision(17);
-    for (double v : values)
-        out << " " << v;
-    return out.str();
-}
-
-} // namespace
 
 double
 Lab::soloIpc(const workload::WorkloadProfile &profile, int threads)
 {
     const std::string key =
         profile.name + "#" + std::to_string(threads);
-    const auto it = soloIpcCache_.find(key);
-    if (it != soloIpcCache_.end())
-        return it->second;
-    const double ipc = characterizer_.soloIpc(profile, threads);
-    soloIpcCache_.emplace(key, ipc);
-    appendToDisk("solo " + key + formatValues({ipc}));
-    return ipc;
+    return soloIpcCache_.getOrCompute(key, [&] {
+        const double ipc = characterizer_.soloIpc(profile, threads);
+        appendToDisk("solo " + key + formatValues({ipc}));
+        return ipc;
+    });
 }
 
 const sim::CounterBlock &
 Lab::soloCounters(const workload::WorkloadProfile &profile)
 {
-    const auto it = soloCounterCache_.find(profile.name);
-    if (it != soloCounterCache_.end())
-        return it->second;
-    workload::ProfileUopSource source(profile);
-    sim::CounterBlock counters =
-        machine_.runSolo(source, warmup_, measure_);
-    return soloCounterCache_.emplace(profile.name, counters)
-        .first->second;
+    return soloCounterCache_.getOrCompute(profile.name, [&] {
+        workload::ProfileUopSource source(profile);
+        return machine_.runSolo(source, warmup_, measure_);
+    });
 }
 
 PmuProfile
 Lab::pmuProfile(const workload::WorkloadProfile &profile)
 {
-    const auto it = pmuCache_.find(profile.name);
-    if (it != pmuCache_.end())
-        return it->second;
-    const PmuProfile rates = soloCounters(profile).pmuRates();
-    pmuCache_.emplace(profile.name, rates);
-    std::string line = "pmu " + profile.name;
-    for (double v : rates)
-        line += formatValues({v});
-    appendToDisk(line);
-    return rates;
+    return pmuCache_.getOrCompute(profile.name, [&] {
+        const PmuProfile rates = soloCounters(profile).pmuRates();
+        std::string line = "pmu " + profile.name;
+        for (double v : rates)
+            line += formatValues({v});
+        appendToDisk(line);
+        return rates;
+    });
 }
 
 const Characterization &
@@ -153,18 +228,17 @@ Lab::characterization(const workload::WorkloadProfile &profile,
 {
     const std::string key = profile.name + "#" + modeName(mode) + "#" +
                             std::to_string(threads);
-    const auto it = characterizationCache_.find(key);
-    if (it != characterizationCache_.end())
-        return it->second;
-    Characterization c =
-        characterizer_.characterize(profile, mode, threads);
-    std::string line = "char " + key;
-    for (double v : c.sensitivity)
-        line += formatValues({v});
-    for (double v : c.contentiousness)
-        line += formatValues({v});
-    appendToDisk(line);
-    return characterizationCache_.emplace(key, c).first->second;
+    return characterizationCache_.getOrCompute(key, [&] {
+        Characterization c =
+            characterizer_.characterize(profile, mode, threads);
+        std::string line = "char " + key;
+        for (double v : c.sensitivity)
+            line += formatValues({v});
+        for (double v : c.contentiousness)
+            line += formatValues({v});
+        appendToDisk(line);
+        return c;
+    });
 }
 
 double
@@ -173,31 +247,43 @@ Lab::pairDegradation(const workload::WorkloadProfile &victim,
                      CoLocationMode mode)
 {
     const std::string key = pairKey(victim.name, aggressor.name, mode);
-    const auto it = pairCache_.find(key);
-    if (it != pairCache_.end())
-        return it->second.first;
+    if (const auto *hit = pairCache_.peek(key))
+        return hit->first;
 
-    workload::ProfileUopSource a(victim, /*seed=*/1);
-    workload::ProfileUopSource b(aggressor, /*seed=*/2);
-    const auto counters =
-        mode == CoLocationMode::kSmt
-            ? machine_.runPairSmt(a, b, warmup_, measure_)
-            : machine_.runPairCmp(a, b, warmup_, measure_);
+    // Simulate with the name-ordered workload in the first placement
+    // slot so the run — and thus the measurement — is the same
+    // whichever direction is asked first, serially or in parallel.
+    const bool ordered = victim.name <= aggressor.name;
+    const workload::WorkloadProfile &first =
+        ordered ? victim : aggressor;
+    const workload::WorkloadProfile &second =
+        ordered ? aggressor : victim;
+    const std::string canonical =
+        pairKey(first.name, second.name, mode);
+    const std::string mirror = pairKey(second.name, first.name, mode);
 
-    const double solo_a = soloIpc(victim);
-    const double solo_b = soloIpc(aggressor);
-    const double deg_a =
-        solo_a > 0.0 ? (solo_a - counters[0].ipc()) / solo_a : 0.0;
-    const double deg_b =
-        solo_b > 0.0 ? (solo_b - counters[1].ipc()) / solo_b : 0.0;
+    const auto &degs = pairCache_.getOrCompute(canonical, [&] {
+        workload::ProfileUopSource a(first, /*seed=*/1);
+        workload::ProfileUopSource b(second, /*seed=*/2);
+        const auto counters =
+            mode == CoLocationMode::kSmt
+                ? machine_.runPairSmt(a, b, warmup_, measure_)
+                : machine_.runPairCmp(a, b, warmup_, measure_);
 
-    pairCache_.emplace(key, std::make_pair(deg_a, deg_b));
-    pairCache_.emplace(pairKey(aggressor.name, victim.name, mode),
-                       std::make_pair(deg_b, deg_a));
-    appendToDisk("pair " + key + formatValues({deg_a, deg_b}));
-    appendToDisk("pair " + pairKey(aggressor.name, victim.name, mode) +
-                 formatValues({deg_b, deg_a}));
-    return deg_a;
+        const double solo_a = soloIpc(first);
+        const double solo_b = soloIpc(second);
+        const double deg_a =
+            solo_a > 0.0 ? (solo_a - counters[0].ipc()) / solo_a : 0.0;
+        const double deg_b =
+            solo_b > 0.0 ? (solo_b - counters[1].ipc()) / solo_b : 0.0;
+
+        appendToDisk("pair " + canonical +
+                     formatValues({deg_a, deg_b}));
+        appendToDisk("pair " + mirror + formatValues({deg_b, deg_a}));
+        return std::make_pair(deg_a, deg_b);
+    });
+    pairCache_.put(mirror, {degs.second, degs.first});
+    return ordered ? degs.first : degs.second;
 }
 
 std::array<double, sim::kNumPorts>
@@ -206,28 +292,25 @@ Lab::pairPortUtilization(const workload::WorkloadProfile &a,
                          CoLocationMode mode)
 {
     const std::string key = "ports|" + pairKey(a.name, b.name, mode);
-    const auto it = portCache_.find(key);
-    if (it != portCache_.end())
-        return it->second;
+    return portCache_.getOrCompute(key, [&] {
+        workload::ProfileUopSource sa(a, /*seed=*/1);
+        workload::ProfileUopSource sb(b, /*seed=*/2);
+        const auto counters =
+            mode == CoLocationMode::kSmt
+                ? machine_.runPairSmt(sa, sb, warmup_, measure_)
+                : machine_.runPairCmp(sa, sb, warmup_, measure_);
 
-    workload::ProfileUopSource sa(a, /*seed=*/1);
-    workload::ProfileUopSource sb(b, /*seed=*/2);
-    const auto counters =
-        mode == CoLocationMode::kSmt
-            ? machine_.runPairSmt(sa, sb, warmup_, measure_)
-            : machine_.runPairCmp(sa, sb, warmup_, measure_);
-
-    std::array<double, sim::kNumPorts> utilization{};
-    for (int p = 0; p < sim::kNumPorts; ++p) {
-        utilization[p] = counters[0].portUtilization(p) +
-                         counters[1].portUtilization(p);
-    }
-    portCache_.emplace(key, utilization);
-    std::string line = "ports " + key;
-    for (double u : utilization)
-        line += formatValues({u});
-    appendToDisk(line);
-    return utilization;
+        std::array<double, sim::kNumPorts> utilization{};
+        for (int p = 0; p < sim::kNumPorts; ++p) {
+            utilization[p] = counters[0].portUtilization(p) +
+                             counters[1].portUtilization(p);
+        }
+        std::string line = "ports " + key;
+        for (double u : utilization)
+            line += formatValues({u});
+        appendToDisk(line);
+        return utilization;
+    });
 }
 
 double
@@ -248,48 +331,138 @@ Lab::multiInstanceDegradation(const workload::WorkloadProfile &latency,
                             modeName(mode) + "#" +
                             std::to_string(threads) + "x" +
                             std::to_string(instances);
-    const auto it = multiCache_.find(key);
-    if (it != multiCache_.end())
-        return it->second;
+    return multiCache_.getOrCompute(key, [&] {
+        // Latency app: context 0 of cores 0..threads-1.
+        std::vector<workload::ProfileUopSource> app_sources;
+        app_sources.reserve(threads);
+        for (int t = 0; t < threads; ++t)
+            app_sources.emplace_back(latency, /*seed=*/1 + t);
+        std::vector<sim::Placement> placements;
+        for (int t = 0; t < threads; ++t)
+            placements.push_back(sim::Placement{t, 0, &app_sources[t]});
 
-    // Latency app: context 0 of cores 0..threads-1.
-    std::vector<workload::ProfileUopSource> app_sources;
-    app_sources.reserve(threads);
-    for (int t = 0; t < threads; ++t)
-        app_sources.emplace_back(latency, /*seed=*/1 + t);
-    std::vector<sim::Placement> placements;
-    for (int t = 0; t < threads; ++t)
-        placements.push_back(sim::Placement{t, 0, &app_sources[t]});
+        // Batch instances: sibling contexts (SMT) or the idle cores
+        // (CMP).
+        std::vector<workload::ProfileUopSource> batch_sources;
+        batch_sources.reserve(instances);
+        for (int k = 0; k < instances; ++k)
+            batch_sources.emplace_back(batch, /*seed=*/100 + k);
+        for (int k = 0; k < instances; ++k) {
+            if (mode == CoLocationMode::kSmt)
+                placements.push_back(
+                    sim::Placement{k, 1, &batch_sources[k]});
+            else
+                placements.push_back(
+                    sim::Placement{threads + k, 0, &batch_sources[k]});
+        }
 
-    // Batch instances: sibling contexts (SMT) or the idle cores (CMP).
-    std::vector<workload::ProfileUopSource> batch_sources;
-    batch_sources.reserve(instances);
-    for (int k = 0; k < instances; ++k)
-        batch_sources.emplace_back(batch, /*seed=*/100 + k);
-    for (int k = 0; k < instances; ++k) {
-        if (mode == CoLocationMode::kSmt)
-            placements.push_back(sim::Placement{k, 1, &batch_sources[k]});
-        else
-            placements.push_back(
-                sim::Placement{threads + k, 0, &batch_sources[k]});
+        const auto counters = machine_.run(placements, warmup_, measure_);
+        double co_ipc = 0.0;
+        for (int t = 0; t < threads; ++t)
+            co_ipc += counters[t].ipc();
+
+        const double solo = soloIpc(latency, threads);
+        const double deg = solo > 0.0 ? (solo - co_ipc) / solo : 0.0;
+        appendToDisk("multi " + key + formatValues({deg}));
+        return deg;
+    });
+}
+
+std::vector<double>
+Lab::soloIpcAll(const std::vector<workload::WorkloadProfile> &profiles,
+                int threads)
+{
+    std::vector<double> results(profiles.size());
+    parallelFor(
+        profiles.size(),
+        [&](std::size_t i) { results[i] = soloIpc(profiles[i], threads); },
+        parallelism());
+    return results;
+}
+
+std::vector<Characterization>
+Lab::characterizeAll(const std::vector<workload::WorkloadProfile> &profiles,
+                     CoLocationMode mode, int threads)
+{
+    const int workers = parallelism();
+    // Warm the per-dimension Ruler baselines first; otherwise every
+    // fanned-out characterization would single-flight-block on
+    // dimension 0's baseline at once.
+    parallelFor(
+        suite_.size(),
+        [&](std::size_t d) {
+            characterizer_.rulerBaseline(d, mode, threads);
+        },
+        workers);
+    std::vector<Characterization> results(profiles.size());
+    parallelFor(
+        profiles.size(),
+        [&](std::size_t i) {
+            results[i] = characterization(profiles[i], mode, threads);
+        },
+        workers);
+    return results;
+}
+
+std::vector<PmuProfile>
+Lab::pmuProfileAll(const std::vector<workload::WorkloadProfile> &profiles)
+{
+    std::vector<PmuProfile> results(profiles.size());
+    parallelFor(
+        profiles.size(),
+        [&](std::size_t i) { results[i] = pmuProfile(profiles[i]); },
+        parallelism());
+    return results;
+}
+
+std::vector<std::vector<double>>
+Lab::measureAllPairs(const std::vector<workload::WorkloadProfile> &profiles,
+                     CoLocationMode mode)
+{
+    const std::size_t n = profiles.size();
+    const int workers = parallelism();
+
+    // Solo IPCs enter every degradation; measure them first so pair
+    // tasks don't serialize on the single-flight solo of a hot name.
+    parallelFor(
+        n, [&](std::size_t i) { soloIpc(profiles[i]); }, workers);
+
+    // One task per unordered pair covers both directions.
+    std::vector<std::pair<std::size_t, std::size_t>> tasks;
+    tasks.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j)
+            tasks.emplace_back(i, j);
     }
+    parallelFor(
+        tasks.size(),
+        [&](std::size_t t) {
+            pairDegradation(profiles[tasks[t].first],
+                            profiles[tasks[t].second], mode);
+        },
+        workers);
 
-    const auto counters = machine_.run(placements, warmup_, measure_);
-    double co_ipc = 0.0;
-    for (int t = 0; t < threads; ++t)
-        co_ipc += counters[t].ipc();
-
-    const double solo = soloIpc(latency, threads);
-    const double deg = solo > 0.0 ? (solo - co_ipc) / solo : 0.0;
-    multiCache_.emplace(key, deg);
-    appendToDisk("multi " + key + formatValues({deg}));
-    return deg;
+    // Assemble in input order from the (now warm) cache.
+    std::vector<std::vector<double>> result(n, std::vector<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            result[i][j] =
+                i == j ? 0.0
+                       : pairDegradation(profiles[i], profiles[j], mode);
+        }
+    }
+    return result;
 }
 
 SmiteModel
 Lab::trainSmite(const std::vector<workload::WorkloadProfile> &training_set,
                 CoLocationMode mode)
 {
+    // Fan the independent measurements out; the serial assembly below
+    // then runs entirely on cache hits, in the original sample order.
+    characterizeAll(training_set, mode);
+    measureAllPairs(training_set, mode);
+
     std::vector<SmiteModel::Sample> samples;
     for (const auto &a : training_set) {
         for (const auto &b : training_set) {
@@ -309,6 +482,9 @@ PmuModel
 Lab::trainPmu(const std::vector<workload::WorkloadProfile> &training_set,
               CoLocationMode mode)
 {
+    pmuProfileAll(training_set);
+    measureAllPairs(training_set, mode);
+
     std::vector<PmuModel::Sample> samples;
     for (const auto &a : training_set) {
         for (const auto &b : training_set) {
@@ -331,6 +507,21 @@ Lab::scaleToInstances(double pair_prediction, int instances, int threads)
         throw std::invalid_argument("threads must be positive");
     return pair_prediction * static_cast<double>(instances) /
            static_cast<double>(threads);
+}
+
+Lab::Stats
+Lab::stats() const
+{
+    Stats s;
+    s.solo_ipc = soloIpcCache_.computeCount();
+    s.solo_counters = soloCounterCache_.computeCount();
+    s.pmu = pmuCache_.computeCount();
+    s.characterizations = characterizationCache_.computeCount();
+    s.pairs = pairCache_.computeCount();
+    s.multi = multiCache_.computeCount();
+    s.ports = portCache_.computeCount();
+    s.ruler_baselines = characterizer_.baselineComputeCount();
+    return s;
 }
 
 } // namespace smite::core

@@ -9,17 +9,30 @@
  * Measurements are cached by (workload, mode, shape), so harnesses
  * that revisit the same co-locations (e.g. a figure sweep) pay for
  * each simulation once.
+ *
+ * The Lab is safe to call from many threads at once: every cache is
+ * a single-flight MemoCache (two threads never simulate the same key
+ * twice) and the underlying sim::Machine builds all microarchitectural
+ * state fresh inside each const run() call, so concurrent runs never
+ * alias. The characterizeAll / measureAllPairs / soloIpcAll /
+ * pmuProfileAll batch APIs fan the independent simulations of the
+ * paper's protocol out across a thread pool (SMITE_THREADS or
+ * setParallelism() controls the width) and assemble results in input
+ * order, byte-identical to the serial loop.
  */
 
 #ifndef SMITE_CORE_EXPERIMENT_H
 #define SMITE_CORE_EXPERIMENT_H
 
-#include <map>
+#include <array>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/characterize.h"
+#include "core/memo_cache.h"
 #include "core/pmu_model.h"
 #include "core/smite_model.h"
 #include "sim/machine.h"
@@ -42,6 +55,17 @@ class Lab
                  sim::Cycle warmup = sim::kDefaultWarmupCycles,
                  sim::Cycle measure = sim::kDefaultMeasureCycles);
 
+    /** Convenience: construct with the disk cache already enabled. */
+    Lab(const sim::MachineConfig &config, const std::string &cache_path,
+        sim::Cycle warmup = sim::kDefaultWarmupCycles,
+        sim::Cycle measure = sim::kDefaultMeasureCycles);
+
+    // The characterizer holds a reference to machine_ and the caches
+    // hold synchronization primitives; the Lab stays where it was
+    // built.
+    Lab(const Lab &) = delete;
+    Lab &operator=(const Lab &) = delete;
+
     /** The machine under test. */
     const sim::Machine &machine() const { return machine_; }
 
@@ -50,6 +74,16 @@ class Lab
 
     /** The characterization driver. */
     const Characterizer &characterizer() const { return characterizer_; }
+
+    /**
+     * Worker threads for the batch APIs: 0 (default) means the
+     * SMITE_THREADS environment variable, else hardware concurrency.
+     * 1 selects the serial path (no pool).
+     */
+    void setParallelism(int threads) { parallelism_ = threads; }
+
+    /** The resolved batch-API worker count. */
+    int parallelism() const;
 
     /** Solo IPC (aggregate over @p threads instances, one per core). */
     double soloIpc(const workload::WorkloadProfile &profile,
@@ -70,7 +104,9 @@ class Lab
     /**
      * Measured degradation of @p victim co-located with
      * @p aggressor (Equation 7). Both directions of a pair are
-     * measured in one run and cached.
+     * measured in one run (simulated with the name-ordered workload
+     * in the first placement slot, so the measurement is independent
+     * of which direction is asked first) and cached.
      */
     double pairDegradation(const workload::WorkloadProfile &victim,
                            const workload::WorkloadProfile &aggressor,
@@ -99,9 +135,43 @@ class Lab
                              int instances, CoLocationMode mode);
 
     /**
+     * Batch solo IPCs, fanned out across the pool; result i belongs
+     * to profiles[i].
+     */
+    std::vector<double>
+    soloIpcAll(const std::vector<workload::WorkloadProfile> &profiles,
+               int threads = 1);
+
+    /**
+     * Batch characterization: warms the per-dimension Ruler baselines
+     * in parallel, then characterizes every profile in parallel.
+     * Result i belongs to profiles[i]; values are byte-identical to
+     * calling characterization() serially.
+     */
+    std::vector<Characterization>
+    characterizeAll(const std::vector<workload::WorkloadProfile> &profiles,
+                    CoLocationMode mode, int threads = 1);
+
+    /** Batch PMU profiles; result i belongs to profiles[i]. */
+    std::vector<PmuProfile>
+    pmuProfileAll(const std::vector<workload::WorkloadProfile> &profiles);
+
+    /**
+     * Measure every ordered co-location pair among @p profiles in
+     * parallel (one simulation per unordered pair covers both
+     * directions). result[i][j] is the degradation of profiles[i]
+     * co-located with profiles[j]; the diagonal is 0.
+     */
+    std::vector<std::vector<double>>
+    measureAllPairs(const std::vector<workload::WorkloadProfile> &profiles,
+                    CoLocationMode mode);
+
+    /**
      * Train a SMiTe model: characterize every workload in
      * @p training_set, measure all ordered co-location pairs among
-     * them, and fit Equation 3.
+     * them (both phases parallel, see the batch APIs), and fit
+     * Equation 3. The sample order — and therefore the fit — is
+     * identical to the serial protocol.
      */
     SmiteModel trainSmite(
         const std::vector<workload::WorkloadProfile> &training_set,
@@ -124,10 +194,33 @@ class Lab
      * Persist measurements to @p path (write-through) and preload
      * any measurements already recorded there. Several experiment
      * harnesses share co-location measurements this way instead of
-     * re-simulating them. The file is a plain text key/value log;
-     * delete it to invalidate.
+     * re-simulating them. The file is a plain text key/value log
+     * headed by a version line; delete it to invalidate. Corrupt or
+     * truncated lines are skipped with a warning on stderr.
      */
     void enableDiskCache(const std::string &path);
+
+    /** Per-cache counts of measurements actually simulated. */
+    struct Stats {
+        std::uint64_t solo_ipc = 0;
+        std::uint64_t solo_counters = 0;
+        std::uint64_t pmu = 0;
+        std::uint64_t characterizations = 0;
+        std::uint64_t pairs = 0;
+        std::uint64_t multi = 0;
+        std::uint64_t ports = 0;
+        std::uint64_t ruler_baselines = 0;
+
+        /** Total memo-cache misses (computations performed). */
+        std::uint64_t total() const
+        {
+            return solo_ipc + solo_counters + pmu + characterizations +
+                   pairs + multi + ports + ruler_baselines;
+        }
+    };
+
+    /** Computation counts since construction (thread-safe). */
+    Stats stats() const;
 
   private:
     void appendToDisk(const std::string &line);
@@ -140,17 +233,19 @@ class Lab
     Characterizer characterizer_;
     sim::Cycle warmup_;
     sim::Cycle measure_;
+    int parallelism_ = 0;
 
-    std::map<std::string, double> soloIpcCache_;
-    std::map<std::string, sim::CounterBlock> soloCounterCache_;
-    std::map<std::string, PmuProfile> pmuCache_;
-    std::map<std::string, Characterization> characterizationCache_;
+    MemoCache<std::string, double> soloIpcCache_;
+    MemoCache<std::string, sim::CounterBlock> soloCounterCache_;
+    MemoCache<std::string, PmuProfile> pmuCache_;
+    MemoCache<std::string, Characterization> characterizationCache_;
     /** key -> (degradation of first, degradation of second) */
-    std::map<std::string, std::pair<double, double>> pairCache_;
-    std::map<std::string, double> multiCache_;
-    std::map<std::string, std::array<double, sim::kNumPorts>>
+    MemoCache<std::string, std::pair<double, double>> pairCache_;
+    MemoCache<std::string, double> multiCache_;
+    MemoCache<std::string, std::array<double, sim::kNumPorts>>
         portCache_;
 
+    std::mutex diskMu_;          ///< one writer at a time
     std::string diskCachePath_;  ///< empty = disk cache disabled
 };
 

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Thread-safe single-flight memoization cache for measurement
+ * results.
+ *
+ * The Lab's measurements are expensive (whole-machine simulations)
+ * and keyed (workload, mode, shape), so when the batch APIs fan
+ * requests across a thread pool two guarantees matter:
+ *
+ *  1. *thread safety* — concurrent lookups and inserts never race
+ *     (reads take a shared lock, writes an exclusive one);
+ *  2. *single flight* — when several threads miss on the same key at
+ *     once, exactly one runs the compute function; the others block
+ *     until the value is ready and then share it. Two threads never
+ *     simulate the same key twice.
+ *
+ * Values live in a std::map, whose nodes are never moved, so the
+ * references handed out stay valid for the cache's lifetime — the
+ * Lab's reference-returning accessors keep their contract under
+ * concurrency.
+ *
+ * If a compute function throws, the exception is captured in the
+ * slot and rethrown to the computing caller and to every waiter (and
+ * to any later caller of the same key): measurement failures here are
+ * argument errors, not transient conditions, so retrying would only
+ * repeat the throw.
+ */
+
+#ifndef SMITE_CORE_MEMO_CACHE_H
+#define SMITE_CORE_MEMO_CACHE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+namespace smite::core {
+
+/**
+ * Shared-mutex-guarded map with single-flight computation.
+ *
+ * @tparam Key ordered key type
+ * @tparam Value default-constructible result type
+ */
+template <typename Key, typename Value>
+class MemoCache
+{
+  public:
+    /**
+     * Return the cached value for @p key, computing it with
+     * @p compute on a miss. Concurrent callers of the same key
+     * block until the one elected computer finishes (single-flight).
+     * The returned reference is stable for the cache's lifetime.
+     */
+    template <typename Fn>
+    const Value &
+    getOrCompute(const Key &key, Fn &&compute)
+    {
+        {
+            std::shared_lock<std::shared_mutex> read(mu_);
+            const auto it = slots_.find(key);
+            if (it != slots_.end() && it->second.ready)
+                return unwrap(it->second);
+        }
+        std::unique_lock<std::shared_mutex> write(mu_);
+        const auto [it, inserted] = slots_.try_emplace(key);
+        if (!inserted) {
+            // Someone else owns (or finished) this key: wait it out.
+            cv_.wait(write, [&] { return it->second.ready; });
+            return unwrap(it->second);
+        }
+        // We own the computation; run it unlocked so other keys
+        // proceed and nested lookups cannot deadlock.
+        write.unlock();
+        computes_.fetch_add(1, std::memory_order_relaxed);
+        Value value{};
+        std::exception_ptr error;
+        try {
+            value = compute();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        write.lock();
+        it->second.value = std::move(value);
+        it->second.error = error;
+        it->second.ready = true;
+        cv_.notify_all();
+        return unwrap(it->second);
+    }
+
+    /**
+     * Insert a ready value if the key is absent (e.g. preloading from
+     * the disk cache, or publishing the mirror direction of a pair
+     * measurement). Existing entries — ready or in flight — win.
+     */
+    void
+    put(const Key &key, Value value)
+    {
+        std::unique_lock<std::shared_mutex> write(mu_);
+        const auto [it, inserted] = slots_.try_emplace(key);
+        if (!inserted)
+            return;
+        it->second.value = std::move(value);
+        it->second.ready = true;
+    }
+
+    /** Ready value for @p key, or nullptr if absent or in flight. */
+    const Value *
+    peek(const Key &key) const
+    {
+        std::shared_lock<std::shared_mutex> read(mu_);
+        const auto it = slots_.find(key);
+        if (it == slots_.end() || !it->second.ready ||
+            it->second.error) {
+            return nullptr;
+        }
+        return &it->second.value;
+    }
+
+    /** Number of compute invocations (misses actually simulated). */
+    std::uint64_t
+    computeCount() const
+    {
+        return computes_.load(std::memory_order_relaxed);
+    }
+
+    /** Number of entries (ready or in flight). */
+    std::size_t
+    size() const
+    {
+        std::shared_lock<std::shared_mutex> read(mu_);
+        return slots_.size();
+    }
+
+  private:
+    struct Slot {
+        Value value{};
+        std::exception_ptr error;
+        bool ready = false;
+    };
+
+    static const Value &
+    unwrap(const Slot &slot)
+    {
+        if (slot.error)
+            std::rethrow_exception(slot.error);
+        return slot.value;
+    }
+
+    mutable std::shared_mutex mu_;
+    std::condition_variable_any cv_;
+    std::map<Key, Slot> slots_;
+    std::atomic<std::uint64_t> computes_{0};
+};
+
+} // namespace smite::core
+
+#endif // SMITE_CORE_MEMO_CACHE_H

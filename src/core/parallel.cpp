@@ -1,0 +1,123 @@
+#include "core/parallel.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace smite::core {
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("SMITE_THREADS")) {
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
+            return static_cast<int>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads - 1);
+    for (int t = 0; t < threads - 1; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::drainBatch()
+{
+    for (;;) {
+        const std::size_t i =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total_)
+            return;
+        try {
+            (*body_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (++completed_ == total_)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(
+                lock, [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+        }
+        drainBatch();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        body_ = &body;
+        total_ = n;
+        completed_ = 0;
+        error_ = nullptr;
+        next_.store(0, std::memory_order_relaxed);
+        ++epoch_;
+    }
+    work_cv_.notify_all();
+    drainBatch();  // the caller is a worker too
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return completed_ == total_; });
+    body_ = nullptr;
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+            int threads)
+{
+    if (threads <= 0)
+        threads = defaultThreadCount();
+    if (threads == 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(threads);
+    pool.parallelFor(n, body);
+}
+
+} // namespace smite::core

@@ -111,7 +111,6 @@ lookup(const std::string &name)
 core::Lab
 makeLab(const Options &opts)
 {
-    core::Lab lab(opts.machine);
     std::string path = opts.cacheFile;
     if (path.empty()) {
         path = "smite_lab_cache_" +
@@ -120,8 +119,9 @@ makeLab(const Options &opts)
                     : std::string("Ivy_Bridge")) +
                ".txt";
     }
-    lab.enableDiskCache(path);
-    return lab;
+    // Returned as a prvalue: the Lab is non-movable (its memo caches
+    // carry synchronization state).
+    return core::Lab(opts.machine, path);
 }
 
 int
