@@ -81,6 +81,7 @@ subsetError(core::Lab &lab, const std::vector<int> &dims,
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_ablation_dimensions");
     bench::banner("Ablation",
                   "Prediction error vs modeled dimension subsets "
                   "(SPEC, SMT co-location)");

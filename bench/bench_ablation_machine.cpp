@@ -46,6 +46,7 @@ pairDeg(const sim::Machine &machine,
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_ablation_machine");
     bench::banner("Machine ablation",
                   "Prefetching and L3 inclusion vs interference "
                   "behaviour");

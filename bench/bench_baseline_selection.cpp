@@ -20,6 +20,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_baseline_selection");
     bench::banner("PMU baseline selection (Section IV-B1)",
                   "Linear vs quadratic vs decision-tree PMU models");
 

@@ -12,6 +12,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig02_fu_sensitivity");
     bench::banner("Figure 2",
                   "Functional-unit sensitivity (S) and contentiousness "
                   "(C) per application, SMT co-location with Rulers");

@@ -14,6 +14,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig03_fu_utilization");
     bench::banner("Figure 3",
                   "Aggregated FU port utilization CDFs over all SPEC "
                   "SMT co-location pairs");

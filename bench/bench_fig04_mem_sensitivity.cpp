@@ -11,6 +11,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig04_mem_sensitivity");
     bench::banner("Figure 4",
                   "Memory-subsystem sensitivity (S) and contentiousness "
                   "(C) per application, SMT co-location with Rulers");

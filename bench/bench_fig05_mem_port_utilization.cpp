@@ -14,6 +14,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig05_mem_port_utilization");
     bench::banner("Figure 5",
                   "Aggregated memory-port utilization CDFs over all "
                   "SPEC SMT co-location pairs");

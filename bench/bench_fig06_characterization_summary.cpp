@@ -12,6 +12,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig06_characterization_summary");
     bench::banner("Figure 6",
                   "Sensitivity (S) and contentiousness (C) of every "
                   "application in all 7 sharing dimensions");

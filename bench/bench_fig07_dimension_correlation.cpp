@@ -14,6 +14,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig07_dimension_correlation");
     bench::banner("Figure 7",
                   "|Pearson| among the 14 Sen/Con dimensions across "
                   "all applications");

@@ -12,6 +12,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig10_spec_smt_prediction");
     bench::banner("Figure 10",
                   "SMT co-location prediction accuracy on SPEC "
                   "CPU2006 (SMiTe vs PMU baseline)");

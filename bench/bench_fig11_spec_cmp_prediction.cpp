@@ -12,6 +12,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig11_spec_cmp_prediction");
     bench::banner("Figure 11",
                   "CMP co-location prediction accuracy on SPEC "
                   "CPU2006 (SMiTe vs PMU baseline)");

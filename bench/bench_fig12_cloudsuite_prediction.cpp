@@ -112,6 +112,7 @@ runMode(core::Lab &lab, core::CoLocationMode mode, int threads,
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig12_cloudsuite_prediction");
     bench::banner("Figure 12",
                   "CloudSuite prediction accuracy on Sandy Bridge-EN "
                   "(SMiTe vs PMU baseline)");

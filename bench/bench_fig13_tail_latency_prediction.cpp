@@ -16,6 +16,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig13_tail_latency_prediction");
     bench::banner("Figure 13",
                   "90th-percentile latency prediction under SMT "
                   "co-location (Sandy Bridge-EN)");

@@ -17,6 +17,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig14_utilization_avgperf");
     bench::banner("Figure 14",
                   "Utilization improvement under average-performance "
                   "QoS targets (SMiTe vs Oracle)");

@@ -12,6 +12,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig15_violations_avgperf");
     bench::banner("Figure 15",
                   "QoS violations: SMiTe vs Random at matched "
                   "utilization (average-performance QoS)");

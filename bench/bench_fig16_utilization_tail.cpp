@@ -13,6 +13,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig16_utilization_tail");
     bench::banner("Figure 16",
                   "Utilization improvement under 90th-percentile "
                   "latency QoS targets (SMiTe vs Oracle)");

@@ -14,6 +14,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig17_violations_tail");
     bench::banner("Figure 17",
                   "QoS violations: SMiTe vs Random at matched "
                   "utilization (90th-percentile latency QoS)");

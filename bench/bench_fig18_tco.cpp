@@ -47,6 +47,7 @@ tcoSaving(const tco::TcoModel &model, double mean_instances)
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_fig18_tco");
     bench::banner("Figure 18",
                   "3-year TCO improvement vs disallowing SMT "
                   "co-location");

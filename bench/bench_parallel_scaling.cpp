@@ -28,18 +28,6 @@ using namespace smite;
 
 namespace {
 
-sim::Cycle
-envCycles(const char *name, sim::Cycle fallback)
-{
-    if (const char *env = std::getenv(name)) {
-        char *end = nullptr;
-        const long long v = std::strtoll(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
-            return static_cast<sim::Cycle>(v);
-    }
-    return fallback;
-}
-
 /** Full-precision serialization of the batch results. */
 std::string
 fingerprint(const std::vector<core::Characterization> &chars,
@@ -67,15 +55,17 @@ fingerprint(const std::vector<core::Characterization> &chars,
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_parallel_scaling");
     bench::banner("Parallel scaling",
                   "Fig. 10 training measurements (even-numbered SPEC, "
                   "SMT) at 1/2/4/8 threads");
 
     const auto train = workload::spec2006::evenNumbered();
     const auto mode = core::CoLocationMode::kSmt;
-    const sim::Cycle warmup = envCycles("SMITE_SCALING_WARMUP", 10'000);
+    const sim::Cycle warmup =
+        bench::envCycles("SMITE_SCALING_WARMUP", 10'000);
     const sim::Cycle measure =
-        envCycles("SMITE_SCALING_MEASURE", 40'000);
+        bench::envCycles("SMITE_SCALING_MEASURE", 40'000);
 
     std::printf("%zu workloads, warmup=%llu measure=%llu cycles, "
                 "host reports %u hardware threads\n\n",
@@ -112,7 +102,11 @@ main()
                     serial_seconds / seconds,
                     static_cast<unsigned long long>(
                         lab.stats().total()));
+        obs_scope.report().addTiming(
+            "threads_" + std::to_string(threads) + "_s", seconds);
     }
+    bench::ReportScope::recordResult("byte_identical",
+                                     obs::json::Value(identical));
 
     std::printf("\nparallel outputs byte-identical to serial: %s\n",
                 identical ? "yes" : "NO — DETERMINISM VIOLATION");

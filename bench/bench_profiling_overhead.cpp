@@ -18,6 +18,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_profiling_overhead");
     bench::banner("Profiling overhead (Section III-B1 / III-D)",
                   "Dense sensitivity sweeps vs 2/3-point "
                   "interpolation");

@@ -37,6 +37,7 @@ degradationUnderRuler(core::Lab &lab,
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_ruler_linearity");
     bench::banner("Ruler linearity (Section III-B1)",
                   "Intensity vs induced degradation; Pearson r per "
                   "cache level");

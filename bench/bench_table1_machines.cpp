@@ -10,6 +10,7 @@ using namespace smite;
 int
 main()
 {
+    bench::ReportScope obs_scope("bench_table1_machines");
     bench::banner("Table I",
                   "Machine specifications of the simulated platforms");
 

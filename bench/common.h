@@ -12,15 +12,53 @@
 #ifndef SMITE_BENCH_COMMON_H
 #define SMITE_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "core/parallel.h"
 #include "core/smite.h"
+#include "obs/obs.h"
 
 namespace smite::bench {
 
-/** Cache-file name for a machine configuration. */
+/** Positive integer environment override, else @p fallback. */
+inline sim::Cycle
+envCycles(const char *name, sim::Cycle fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        char *end = nullptr;
+        const long long v = std::strtoll(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<sim::Cycle>(v);
+    }
+    return fallback;
+}
+
+/**
+ * Simulation intervals for the harnesses: the paper-length defaults,
+ * or the SMITE_BENCH_WARMUP / SMITE_BENCH_MEASURE environment
+ * overrides (cycles) for quick smoke runs.
+ */
+inline sim::Cycle
+benchWarmupCycles()
+{
+    return envCycles("SMITE_BENCH_WARMUP", sim::kDefaultWarmupCycles);
+}
+
+/** @copydoc benchWarmupCycles */
+inline sim::Cycle
+benchMeasureCycles()
+{
+    return envCycles("SMITE_BENCH_MEASURE", sim::kDefaultMeasureCycles);
+}
+
+/**
+ * Cache-file name for a machine configuration. Runs at non-default
+ * simulation intervals get their own cache files — measurements taken
+ * at different intervals must never mix.
+ */
 inline std::string
 cacheFileFor(const sim::MachineConfig &config)
 {
@@ -28,6 +66,13 @@ cacheFileFor(const sim::MachineConfig &config)
     for (char &c : tag) {
         if (c == ' ' || c == '-')
             c = '_';
+    }
+    const sim::Cycle warmup = benchWarmupCycles();
+    const sim::Cycle measure = benchMeasureCycles();
+    if (warmup != sim::kDefaultWarmupCycles ||
+        measure != sim::kDefaultMeasureCycles) {
+        tag += "_w" + std::to_string(warmup) + "_m" +
+               std::to_string(measure);
     }
     return "smite_lab_cache_" + tag + ".txt";
 }
@@ -39,8 +84,102 @@ cacheFileFor(const sim::MachineConfig &config)
 inline core::Lab
 makeLab(const sim::MachineConfig &config)
 {
-    return core::Lab(config, cacheFileFor(config));
+    return core::Lab(config, cacheFileFor(config),
+                     benchWarmupCycles(), benchMeasureCycles());
 }
+
+/**
+ * Per-harness observability scope: declare one at the top of main().
+ *
+ * Wraps the whole run in a `bench.run` trace span and, at scope exit,
+ * emits the structured artifacts next to the harness's stdout —
+ * `<name>.report.json` (schema `smite-run-report/1`, carrying config,
+ * phase timings, recorded results and a metrics-registry snapshot)
+ * whenever SMITE_METRICS or SMITE_TRACE is set, plus
+ * `<name>.trace.json` (Chrome trace_event, open in Perfetto) when
+ * SMITE_TRACE is set. With both variables unset nothing is written —
+ * harness behaviour and output stay byte-identical.
+ */
+class ReportScope
+{
+  public:
+    /** @param name harness identifier, conventionally the binary name. */
+    explicit ReportScope(const char *name)
+        : report_(name), start_(std::chrono::steady_clock::now()),
+          start_us_(obs::TraceSession::global().nowMicros())
+    {
+        instance_ = this;
+        report_.setConfig("threads",
+                          obs::json::Value(core::defaultThreadCount()));
+        report_.setConfig("warmup_cycles",
+                          obs::json::Value(benchWarmupCycles()));
+        report_.setConfig("measure_cycles",
+                          obs::json::Value(benchMeasureCycles()));
+    }
+
+    ~ReportScope() { finish(); }
+
+    ReportScope(const ReportScope &) = delete;
+    ReportScope &operator=(const ReportScope &) = delete;
+
+    /** The active scope, or nullptr outside an instrumented harness. */
+    static ReportScope *instance() { return instance_; }
+
+    /** The report under construction. */
+    obs::RunReport &report() { return report_; }
+
+    /** Record a result on the active scope, if any (shared helpers). */
+    static void
+    recordResult(const std::string &key, obs::json::Value value)
+    {
+        if (instance_ != nullptr)
+            instance_->report_.addResult(key, std::move(value));
+    }
+
+    /** Emit the artifacts now (idempotent; the destructor calls it). */
+    void
+    finish()
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        instance_ = nullptr;
+        const double total_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        report_.addTiming("total_s", total_s);
+        if (obs::traceEnabled()) {
+            // The whole-run span is recorded here rather than by a
+            // Span destructor, which would fire only after the trace
+            // file had already been written.
+            obs::TraceSession &session = obs::TraceSession::global();
+            session.record("bench.run", start_us_,
+                           session.nowMicros() - start_us_,
+                           report_.name());
+            const std::string trace_path =
+                report_.name() + ".trace.json";
+            if (obs::TraceSession::global().writeTo(trace_path))
+                std::fprintf(stderr, "smite: trace written to %s\n",
+                             trace_path.c_str());
+        }
+        if (obs::metricsEnabled() || obs::traceEnabled()) {
+            const std::string report_path =
+                report_.name() + ".report.json";
+            if (report_.writeTo(report_path))
+                std::fprintf(stderr, "smite: report written to %s\n",
+                             report_path.c_str());
+        }
+    }
+
+  private:
+    inline static ReportScope *instance_ = nullptr;
+
+    obs::RunReport report_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t start_us_;
+    bool finished_ = false;
+};
 
 /** Print the standard bench banner. */
 inline void
@@ -74,6 +213,12 @@ runSpecPredictionExperiment(core::Lab &lab, core::CoLocationMode mode,
     const auto train = workload::spec2006::evenNumbered();
     const auto test = workload::spec2006::oddNumbered();
 
+    if (ReportScope *scope = ReportScope::instance()) {
+        scope->report().setConfig(
+            "machine",
+            obs::json::Value(lab.machine().config().microarchitecture));
+    }
+
     std::printf("training SMiTe + PMU models on the %zu even-numbered "
                 "benchmarks (%s co-location, %d threads)...\n",
                 train.size(), core::modeName(mode), lab.parallelism());
@@ -97,6 +242,7 @@ runSpecPredictionExperiment(core::Lab &lab, core::CoLocationMode mode,
 
     std::printf("%-16s %12s %12s %12s\n", "benchmark",
                 "measured deg", "SMiTe err", "PMU err");
+    obs::json::Value per_benchmark = obs::json::Value::array();
     double total_measured = 0, total_smite = 0, total_pmu = 0;
     for (const auto &victim : test) {
         double measured = 0, smite_err = 0, pmu_err = 0;
@@ -122,6 +268,12 @@ runSpecPredictionExperiment(core::Lab &lab, core::CoLocationMode mode,
         std::printf("%-16s %11.2f%% %11.2f%% %11.2f%%\n",
                     victim.name.c_str(), 100 * measured,
                     100 * smite_err, 100 * pmu_err);
+        obs::json::Value row = obs::json::Value::object();
+        row.set("benchmark", obs::json::Value(victim.name));
+        row.set("measured_degradation", obs::json::Value(measured));
+        row.set("smite_error", obs::json::Value(smite_err));
+        row.set("pmu_error", obs::json::Value(pmu_err));
+        per_benchmark.push(std::move(row));
         total_measured += measured;
         total_smite += smite_err;
         total_pmu += pmu_err;
@@ -132,6 +284,21 @@ runSpecPredictionExperiment(core::Lab &lab, core::CoLocationMode mode,
                 100 * total_pmu / n);
     std::printf("\npaper: SMiTe %.2f%% vs PMU %.2f%% average error\n",
                 paper_smite, paper_pmu);
+
+    ReportScope::recordResult("mode", obs::json::Value(
+                                          core::modeName(mode)));
+    ReportScope::recordResult("per_benchmark",
+                              std::move(per_benchmark));
+    ReportScope::recordResult("avg_measured_degradation",
+                              obs::json::Value(total_measured / n));
+    ReportScope::recordResult("smite_avg_error",
+                              obs::json::Value(total_smite / n));
+    ReportScope::recordResult("pmu_avg_error",
+                              obs::json::Value(total_pmu / n));
+    ReportScope::recordResult("paper_smite_avg_error_pct",
+                              obs::json::Value(paper_smite));
+    ReportScope::recordResult("paper_pmu_avg_error_pct",
+                              obs::json::Value(paper_pmu));
 }
 
 } // namespace smite::bench

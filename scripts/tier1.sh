@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite (parallel ctest), then
-# a ThreadSanitizer pass over the parallel measurement engine.
+# Tier-1 verification: full build + test suite (parallel ctest), a
+# ThreadSanitizer pass over the parallel measurement engine, an
+# observability smoke run (trace + report emission, validated and
+# cross-checked against the documented catalog), and a markdown link
+# check over the top-level docs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+REPO="$PWD"
 
 JOBS="${JOBS:-$(nproc)}"
 
@@ -14,3 +18,63 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
 cmake -B build-tsan -S . -DSMITE_TSAN=ON
 cmake --build build-tsan -j"$JOBS" --target test_parallel
 ./build-tsan/tests/test_parallel
+
+# --- Observability smoke -------------------------------------------
+# Run one real figure harness with tracing + metrics on (tiny
+# simulation intervals so it finishes in seconds; the non-default
+# intervals get their own scratch disk cache), validate both emitted
+# artifacts, and grep every span/metric name the run produced against
+# the catalog in docs/OBSERVABILITY.md.
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+(
+    cd "$OBS_DIR"
+    SMITE_TRACE=1 SMITE_METRICS=1 \
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build/bench/bench_fig10_spec_smt_prediction" \
+        > fig10.stdout
+
+    "$REPO/build/tools/obs_check" trace \
+        bench_fig10_spec_smt_prediction.trace.json > names.txt
+    "$REPO/build/tools/obs_check" report \
+        bench_fig10_spec_smt_prediction.report.json >> names.txt
+
+    missing=0
+    while read -r name; do
+        if ! grep -qF "\`$name\`" "$REPO/docs/OBSERVABILITY.md"; then
+            echo "undocumented observability name: $name" >&2
+            missing=1
+        fi
+    done < names.txt
+    [ "$missing" -eq 0 ]
+
+    # With both variables unset, a harness must emit nothing.
+    "$REPO/build/bench/bench_table1_machines" > /dev/null
+    if ls ./*.trace.json ./*.report.json 2>/dev/null |
+        grep -q table1; then
+        echo "artifacts emitted without SMITE_TRACE/SMITE_METRICS" >&2
+        exit 1
+    fi
+)
+echo "observability smoke: ok"
+
+# --- Markdown link check -------------------------------------------
+# Every relative link target in the top-level docs must exist.
+bad_links=0
+for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
+    dir="$(dirname "$doc")"
+    while read -r target; do
+        case "$target" in
+        http://* | https://* | "#"*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "$doc: broken link -> $target" >&2
+            bad_links=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" 2>/dev/null |
+        sed -E 's/^\]\(//; s/\)$//')
+done
+[ "$bad_links" -eq 0 ]
+echo "markdown links: ok"

@@ -2,6 +2,9 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace smite::core {
 
@@ -28,6 +31,7 @@ Characterizer::Characterizer(const sim::Machine &machine,
 {
     if (suite_.empty())
         throw std::invalid_argument("empty ruler suite");
+    baselineCache_.instrument("characterizer.cache.baseline");
 }
 
 std::vector<sim::Placement>
@@ -65,6 +69,7 @@ Characterizer::rulerBaseline(size_t d, CoLocationMode mode,
     return baselineCache_.getOrCompute(
         BaselineKey{d, mode, threads}, [&] {
             const rulers::Ruler &ruler = suite_[d];
+            obs::Span span("characterizer.baseline", ruler.name());
             std::vector<std::unique_ptr<sim::UopSource>> sources;
             std::vector<sim::Placement> placements;
             for (int t = 0; t < threads; ++t) {
@@ -93,11 +98,15 @@ Characterizer::characterize(const workload::WorkloadProfile &profile,
     if (mode == CoLocationMode::kCmp && 2 * threads > cores)
         throw std::invalid_argument("too many threads for CMP mode");
 
+    obs::Span characterize_span("characterizer.characterize",
+                                profile.name + "#" + modeName(mode));
     const double app_solo = soloIpc(profile, threads);
 
     Characterization result;
     for (size_t d = 0; d < suite_.size(); ++d) {
         const rulers::Ruler &ruler = suite_[d];
+        obs::Span dimension_span("characterizer.dimension",
+                                 ruler.name());
 
         // Ruler placements mirror where they will sit in the
         // co-location: sibling contexts (SMT) or the far cores (CMP).

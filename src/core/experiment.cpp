@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/generator.h"
 
 namespace smite::core {
@@ -48,6 +50,13 @@ Lab::Lab(const sim::MachineConfig &config, sim::Cycle warmup,
       characterizer_(machine_, suite_, warmup, measure),
       warmup_(warmup), measure_(measure)
 {
+    soloIpcCache_.instrument("lab.cache.solo_ipc");
+    soloCounterCache_.instrument("lab.cache.solo_counters");
+    pmuCache_.instrument("lab.cache.pmu");
+    characterizationCache_.instrument("lab.cache.characterization");
+    pairCache_.instrument("lab.cache.pair");
+    multiCache_.instrument("lab.cache.multi");
+    portCache_.instrument("lab.cache.ports");
 }
 
 Lab::Lab(const sim::MachineConfig &config, const std::string &cache_path,
@@ -75,6 +84,9 @@ Lab::appendToDisk(const std::string &line)
 {
     if (diskCachePath_.empty())
         return;
+    static obs::Counter &appends =
+        obs::Registry::global().counter("lab.disk.appends");
+    appends.add();
     // One writer at a time keeps the write-through log line-atomic
     // when batch measurements land from several threads.
     std::lock_guard<std::mutex> lock(diskMu_);
@@ -90,6 +102,8 @@ Lab::loadDiskCache(const std::string &path)
     std::string line;
     std::size_t lineno = 0;
     bool first = true;
+    obs::Counter &preloaded =
+        obs::Registry::global().counter("lab.disk.preloaded");
     auto warn = [&](const char *what) {
         std::fprintf(stderr,
                      "smite: disk cache %s:%zu: skipping %s line\n",
@@ -121,40 +135,50 @@ Lab::loadDiskCache(const std::string &path)
         }
         if (kind == "solo") {
             double v;
-            if (row >> v && exhausted(row))
+            if (row >> v && exhausted(row)) {
                 soloIpcCache_.put(key, v);
-            else
+                preloaded.add();
+            } else {
                 warn("truncated 'solo'");
+            }
         } else if (kind == "pair") {
             double a, b;
-            if (row >> a >> b && exhausted(row))
+            if (row >> a >> b && exhausted(row)) {
                 pairCache_.put(key, {a, b});
-            else
+                preloaded.add();
+            } else {
                 warn("truncated 'pair'");
+            }
         } else if (kind == "multi") {
             double v;
-            if (row >> v && exhausted(row))
+            if (row >> v && exhausted(row)) {
                 multiCache_.put(key, v);
-            else
+                preloaded.add();
+            } else {
                 warn("truncated 'multi'");
+            }
         } else if (kind == "pmu") {
             PmuProfile p{};
             bool ok = true;
             for (double &v : p)
                 ok = ok && static_cast<bool>(row >> v);
-            if (ok && exhausted(row))
+            if (ok && exhausted(row)) {
                 pmuCache_.put(key, p);
-            else
+                preloaded.add();
+            } else {
                 warn("truncated 'pmu'");
+            }
         } else if (kind == "ports") {
             std::array<double, sim::kNumPorts> utilization{};
             bool ok = true;
             for (double &v : utilization)
                 ok = ok && static_cast<bool>(row >> v);
-            if (ok && exhausted(row))
+            if (ok && exhausted(row)) {
                 portCache_.put(key, utilization);
-            else
+                preloaded.add();
+            } else {
                 warn("truncated 'ports'");
+            }
         } else if (kind == "char") {
             Characterization c;
             bool ok = true;
@@ -162,10 +186,12 @@ Lab::loadDiskCache(const std::string &path)
                 ok = ok && static_cast<bool>(row >> v);
             for (double &v : c.contentiousness)
                 ok = ok && static_cast<bool>(row >> v);
-            if (ok && exhausted(row))
+            if (ok && exhausted(row)) {
                 characterizationCache_.put(key, c);
-            else
+                preloaded.add();
+            } else {
                 warn("truncated 'char'");
+            }
         } else {
             warn("unrecognized");
         }
@@ -194,6 +220,7 @@ Lab::soloIpc(const workload::WorkloadProfile &profile, int threads)
     const std::string key =
         profile.name + "#" + std::to_string(threads);
     return soloIpcCache_.getOrCompute(key, [&] {
+        obs::Span span("lab.solo_ipc", key);
         const double ipc = characterizer_.soloIpc(profile, threads);
         appendToDisk("solo " + key + formatValues({ipc}));
         return ipc;
@@ -204,6 +231,7 @@ const sim::CounterBlock &
 Lab::soloCounters(const workload::WorkloadProfile &profile)
 {
     return soloCounterCache_.getOrCompute(profile.name, [&] {
+        obs::Span span("lab.solo_counters", profile.name);
         workload::ProfileUopSource source(profile);
         return machine_.runSolo(source, warmup_, measure_);
     });
@@ -213,6 +241,7 @@ PmuProfile
 Lab::pmuProfile(const workload::WorkloadProfile &profile)
 {
     return pmuCache_.getOrCompute(profile.name, [&] {
+        obs::Span span("lab.pmu_profile", profile.name);
         const PmuProfile rates = soloCounters(profile).pmuRates();
         std::string line = "pmu " + profile.name;
         for (double v : rates)
@@ -229,6 +258,7 @@ Lab::characterization(const workload::WorkloadProfile &profile,
     const std::string key = profile.name + "#" + modeName(mode) + "#" +
                             std::to_string(threads);
     return characterizationCache_.getOrCompute(key, [&] {
+        obs::Span span("lab.characterize", key);
         Characterization c =
             characterizer_.characterize(profile, mode, threads);
         std::string line = "char " + key;
@@ -263,6 +293,7 @@ Lab::pairDegradation(const workload::WorkloadProfile &victim,
     const std::string mirror = pairKey(second.name, first.name, mode);
 
     const auto &degs = pairCache_.getOrCompute(canonical, [&] {
+        obs::Span span("lab.pair", canonical);
         workload::ProfileUopSource a(first, /*seed=*/1);
         workload::ProfileUopSource b(second, /*seed=*/2);
         const auto counters =
@@ -293,6 +324,7 @@ Lab::pairPortUtilization(const workload::WorkloadProfile &a,
 {
     const std::string key = "ports|" + pairKey(a.name, b.name, mode);
     return portCache_.getOrCompute(key, [&] {
+        obs::Span span("lab.ports", key);
         workload::ProfileUopSource sa(a, /*seed=*/1);
         workload::ProfileUopSource sb(b, /*seed=*/2);
         const auto counters =
@@ -332,6 +364,7 @@ Lab::multiInstanceDegradation(const workload::WorkloadProfile &latency,
                             std::to_string(threads) + "x" +
                             std::to_string(instances);
     return multiCache_.getOrCompute(key, [&] {
+        obs::Span span("lab.multi", key);
         // Latency app: context 0 of cores 0..threads-1.
         std::vector<workload::ProfileUopSource> app_sources;
         app_sources.reserve(threads);
@@ -458,6 +491,7 @@ SmiteModel
 Lab::trainSmite(const std::vector<workload::WorkloadProfile> &training_set,
                 CoLocationMode mode)
 {
+    obs::Span span("lab.train_smite", modeName(mode));
     // Fan the independent measurements out; the serial assembly below
     // then runs entirely on cache hits, in the original sample order.
     characterizeAll(training_set, mode);
@@ -482,6 +516,7 @@ PmuModel
 Lab::trainPmu(const std::vector<workload::WorkloadProfile> &training_set,
               CoLocationMode mode)
 {
+    obs::Span span("lab.train_pmu", modeName(mode));
     pmuProfileAll(training_set);
     measureAllPairs(training_set, mode);
 

@@ -36,7 +36,10 @@
 #include <map>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace smite::core {
 
@@ -51,6 +54,25 @@ class MemoCache
 {
   public:
     /**
+     * Register this cache's traffic with the global metrics
+     * Registry under `<prefix>.hits` / `<prefix>.misses` /
+     * `<prefix>.waits` (see docs/OBSERVABILITY.md): a *hit* found a
+     * ready value on the shared-lock fast path, a *miss* elected this
+     * caller to compute, a *wait* blocked on another thread's
+     * in-flight computation of the same key (single-flight
+     * contention). Call once, before concurrent use; updates are
+     * relaxed atomic increments.
+     */
+    void
+    instrument(const std::string &prefix)
+    {
+        obs::Registry &registry = obs::Registry::global();
+        hits_ = &registry.counter(prefix + ".hits");
+        misses_ = &registry.counter(prefix + ".misses");
+        waits_ = &registry.counter(prefix + ".waits");
+    }
+
+    /**
      * Return the cached value for @p key, computing it with
      * @p compute on a miss. Concurrent callers of the same key
      * block until the one elected computer finishes (single-flight).
@@ -63,16 +85,27 @@ class MemoCache
         {
             std::shared_lock<std::shared_mutex> read(mu_);
             const auto it = slots_.find(key);
-            if (it != slots_.end() && it->second.ready)
+            if (it != slots_.end() && it->second.ready) {
+                if (hits_)
+                    hits_->add();
                 return unwrap(it->second);
+            }
         }
         std::unique_lock<std::shared_mutex> write(mu_);
         const auto [it, inserted] = slots_.try_emplace(key);
         if (!inserted) {
             // Someone else owns (or finished) this key: wait it out.
+            if (it->second.ready) {
+                if (hits_)
+                    hits_->add();
+            } else if (waits_) {
+                waits_->add();
+            }
             cv_.wait(write, [&] { return it->second.ready; });
             return unwrap(it->second);
         }
+        if (misses_)
+            misses_->add();
         // We own the computation; run it unlocked so other keys
         // proceed and nested lookups cannot deadlock.
         write.unlock();
@@ -118,6 +151,8 @@ class MemoCache
             it->second.error) {
             return nullptr;
         }
+        if (hits_)
+            hits_->add();
         return &it->second.value;
     }
 
@@ -155,6 +190,9 @@ class MemoCache
     std::condition_variable_any cv_;
     std::map<Key, Slot> slots_;
     std::atomic<std::uint64_t> computes_{0};
+    obs::Counter *hits_ = nullptr;    ///< null until instrument()
+    obs::Counter *misses_ = nullptr;
+    obs::Counter *waits_ = nullptr;
 };
 
 } // namespace smite::core

@@ -1,0 +1,432 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace smite::obs::json {
+
+Value &
+Value::push(Value v)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kArray;
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+Value &
+Value::set(const std::string &key, Value v)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kObject;
+    for (auto &field : fields_) {
+        if (field.first == key) {
+            field.second = std::move(v);
+            return *this;
+        }
+    }
+    fields_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &field : fields_) {
+        if (field.first == key)
+            return &field.second;
+    }
+    return nullptr;
+}
+
+std::string
+escape(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Shortest round-trippable decimal for a finite double. */
+std::string
+formatNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";  // JSON has no Inf/NaN; degrade explicitly
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    const std::string pad =
+        pretty ? std::string(static_cast<std::size_t>(indent) *
+                                 (depth + 1),
+                             ' ')
+               : "";
+    const std::string closePad =
+        pretty ? std::string(static_cast<std::size_t>(indent) * depth,
+                             ' ')
+               : "";
+    switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: out += formatNumber(number_); break;
+    case Type::kString:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        break;
+    case Type::kArray: {
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (pretty) {
+                out += '\n';
+                out += pad;
+            }
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (pretty) {
+            out += '\n';
+            out += closePad;
+        }
+        out += ']';
+        break;
+    }
+    case Type::kObject: {
+        if (fields_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (pretty) {
+                out += '\n';
+                out += pad;
+            }
+            out += '"';
+            out += escape(fields_[i].first);
+            out += pretty ? "\": " : "\":";
+            fields_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (pretty) {
+            out += '\n';
+            out += closePad;
+        }
+        out += '}';
+        break;
+    }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string_view with offset errors. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parseDocument(Value *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = std::string(what) + " at offset " +
+                      std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out->push_back('"'); break;
+            case '\\': out->push_back('\\'); break;
+            case '/': out->push_back('/'); break;
+            case 'b': out->push_back('\b'); break;
+            case 'f': out->push_back('\f'); break;
+            case 'n': out->push_back('\n'); break;
+            case 'r': out->push_back('\r'); break;
+            case 't': out->push_back('\t'); break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (the emitters only
+                // produce control-character escapes, so surrogate
+                // pairs are out of scope and decode as two chars).
+                if (code < 0x80) {
+                    out->push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out->push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out->push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out->push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out->push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out->push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value *out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected number");
+        const std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number");
+        *out = Value(v);
+        return true;
+    }
+
+    bool
+    parseValue(Value *out)
+    {
+        if (depth_ > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == 'n')
+            return literal("null") ? (*out = Value(), true)
+                                   : fail("bad literal");
+        if (c == 't')
+            return literal("true") ? (*out = Value(true), true)
+                                   : fail("bad literal");
+        if (c == 'f')
+            return literal("false") ? (*out = Value(false), true)
+                                    : fail("bad literal");
+        if (c == '"') {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = Value(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++pos_;
+            ++depth_;
+            *out = Value::array();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            for (;;) {
+                Value item;
+                if (!parseValue(&item))
+                    return false;
+                out->push(std::move(item));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    --depth_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '{') {
+            ++pos_;
+            ++depth_;
+            *out = Value::object();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                Value item;
+                if (!parseValue(&item))
+                    return false;
+                out->set(key, std::move(item));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    --depth_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        return parseNumber(out);
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    std::string_view text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+Value::parse(std::string_view text, Value *out, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser parser(text, error);
+    return parser.parseDocument(out);
+}
+
+} // namespace smite::obs::json

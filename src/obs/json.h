@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal JSON document model for the observability layer.
+ *
+ * The run reports and Chrome traces the obs subsystem emits — and the
+ * validators/tests that read them back — need exactly one document
+ * type: a tagged union over null / bool / number / string / array /
+ * object, with insertion-ordered object fields, a serializer, and a
+ * strict recursive-descent parser. No external dependency, no DOM
+ * cleverness.
+ */
+
+#ifndef SMITE_OBS_JSON_H
+#define SMITE_OBS_JSON_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace smite::obs::json {
+
+/**
+ * One JSON value. Object fields keep insertion order so emitted
+ * documents are stable and diffable across runs.
+ */
+class Value
+{
+  public:
+    /** JSON type tag. */
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Value() : type_(Type::kNull) {}
+    Value(bool b) : type_(Type::kBool), bool_(b) {}
+    /** Any integer or floating-point number (stored as double). */
+    template <typename T>
+        requires(std::is_arithmetic_v<T> && !std::is_same_v<T, bool>)
+    Value(T n) : type_(Type::kNumber), number_(static_cast<double>(n))
+    {
+    }
+    Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+    Value(const char *s) : Value(std::string(s)) {}
+
+    /** An empty array value. */
+    static Value array() { Value v; v.type_ = Type::kArray; return v; }
+
+    /** An empty object value. */
+    static Value object() { Value v; v.type_ = Type::kObject; return v; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+    bool isBool() const { return type_ == Type::kBool; }
+    bool isNumber() const { return type_ == Type::kNumber; }
+    bool isString() const { return type_ == Type::kString; }
+    bool isArray() const { return type_ == Type::kArray; }
+    bool isObject() const { return type_ == Type::kObject; }
+
+    /** Value accessors; defaulted, not throwing, on type mismatch. */
+    bool asBool(bool fallback = false) const
+    {
+        return isBool() ? bool_ : fallback;
+    }
+    double asNumber(double fallback = 0.0) const
+    {
+        return isNumber() ? number_ : fallback;
+    }
+    const std::string &asString() const { return string_; }
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<Value> &items() const { return items_; }
+
+    /** Object fields in insertion order (empty unless isObject()). */
+    const std::vector<std::pair<std::string, Value>> &fields() const
+    {
+        return fields_;
+    }
+
+    /** Append to an array (converts a null value into an array). */
+    Value &push(Value v);
+
+    /**
+     * Set an object field (converts a null value into an object).
+     * An existing field of the same name is overwritten in place.
+     */
+    Value &set(const std::string &key, Value v);
+
+    /** Field lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /**
+     * Serialize. @p indent < 0 emits the compact one-line form;
+     * otherwise nested containers indent by @p indent spaces.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Strict parse of a complete JSON document (trailing garbage is
+     * an error). On failure returns false and, when @p error is
+     * non-null, stores a message with the byte offset.
+     */
+    static bool parse(std::string_view text, Value *out,
+                      std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/** JSON string escaping (without the surrounding quotes). */
+std::string escape(std::string_view raw);
+
+} // namespace smite::obs::json
+
+#endif // SMITE_OBS_JSON_H

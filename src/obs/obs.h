@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Umbrella header: the SMiTe observability layer.
+ *
+ * Three cooperating pieces, all off by default and gated by
+ * environment variables (reference: docs/OBSERVABILITY.md):
+ *
+ *  - metrics.h — process-wide Registry of counters/gauges/histograms
+ *    (collection always on, lock-free; emission gated by
+ *    SMITE_METRICS);
+ *  - trace.h — scoped Spans emitting Chrome trace_event JSON
+ *    (collection gated by SMITE_TRACE; open in Perfetto);
+ *  - report.h — structured per-run JSON reports
+ *    (`smite-run-report/1`) embedding a metrics snapshot.
+ */
+
+#ifndef SMITE_OBS_OBS_H
+#define SMITE_OBS_OBS_H
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+#endif // SMITE_OBS_OBS_H

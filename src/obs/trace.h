@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Scoped trace spans emitting Chrome trace_event JSON.
+ *
+ * When the SMITE_TRACE environment variable is set (non-"0"), every
+ * Span records one complete ("ph":"X") event — name, thread, start
+ * microsecond, duration — into the process-wide TraceSession buffer;
+ * TraceSession::writeTo() then serializes the buffer in the Chrome
+ * trace_event format, loadable in about:tracing or
+ * https://ui.perfetto.dev. The bench reporter (bench/common.h) writes
+ * `<harness>.trace.json` automatically at exit.
+ *
+ * When tracing is disabled a Span is two relaxed atomic loads and no
+ * clock read — cheap enough to leave instrumentation in every hot
+ * layer permanently. Span names are static label strings from the
+ * catalog in docs/OBSERVABILITY.md (`<subsystem>.<operation>`); the
+ * per-instance detail (workload, pair key, ...) goes into the event's
+ * args, not the name, so Perfetto aggregates by operation.
+ */
+
+#ifndef SMITE_OBS_TRACE_H
+#define SMITE_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace smite::obs {
+
+/** True when SMITE_TRACE enables span collection. */
+bool traceEnabled();
+
+/** The process-wide span buffer. */
+class TraceSession
+{
+  public:
+    /** The singleton session (clock starts on first access). */
+    static TraceSession &global();
+
+    /** Whether spans currently record (env var or test override). */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Test hook: force span collection on or off. */
+    void setEnabledForTesting(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+
+    /** Microseconds since the session started. */
+    std::uint64_t nowMicros() const;
+
+    /**
+     * Record one complete event. @p name must outlive the session
+     * (static string); @p detail is copied into the event's args.
+     */
+    void record(const char *name, std::uint64_t start_us,
+                std::uint64_t duration_us, std::string detail);
+
+    /** Events recorded so far. */
+    std::size_t eventCount() const;
+
+    /** Distinct span names recorded, sorted. */
+    std::vector<std::string> spanNames() const;
+
+    /** The Chrome trace_event document. */
+    json::Value toJson() const;
+
+    /**
+     * Serialize to @p path (pretty-printed). Returns false and warns
+     * on stderr when the file cannot be written.
+     */
+    bool writeTo(const std::string &path) const;
+
+    /** Drop all recorded events (test isolation). */
+    void clearForTesting();
+
+  private:
+    TraceSession();
+
+    struct Event {
+        const char *name;
+        int tid;
+        std::uint64_t start_us;
+        std::uint64_t duration_us;
+        std::string detail;
+    };
+
+    std::atomic<bool> enabled_;
+    std::uint64_t epoch_ns_;  ///< steady-clock origin of ts == 0
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+};
+
+/**
+ * RAII span: records the enclosing scope as one trace event. No-op
+ * (no clock read, no allocation) while tracing is disabled.
+ */
+class Span
+{
+  public:
+    /** @param name static catalog label, e.g. "lab.pair". */
+    explicit Span(const char *name) : Span(name, std::string()) {}
+
+    /** @param detail per-instance context stored in the event args. */
+    Span(const char *name, std::string detail);
+
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_ = nullptr;  ///< nullptr = disabled at entry
+    std::uint64_t start_us_ = 0;
+    std::string detail_;
+};
+
+} // namespace smite::obs
+
+#endif // SMITE_OBS_TRACE_H

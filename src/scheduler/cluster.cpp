@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/rng.h"
 
 namespace smite::scheduler {
@@ -74,6 +76,21 @@ Cluster::finish(const std::string &name, double qos_target,
                 std::max(result.maxViolation, magnitude);
         }
     }
+
+    // One policy run over the cluster is the scheduler's decision
+    // epoch; the counters aggregate across epochs, the gauge holds
+    // the most recent epoch's utilization.
+    obs::Registry &registry = obs::Registry::global();
+    registry.counter("scheduler.policies").add();
+    registry.counter("scheduler.decisions")
+        .add(static_cast<std::uint64_t>(result.servers));
+    registry.counter("scheduler.admissions")
+        .add(static_cast<std::uint64_t>(result.coLocatedServers));
+    registry.counter("scheduler.violations")
+        .add(static_cast<std::uint64_t>(result.violatedServers));
+    registry.counter("scheduler.batch_instances")
+        .add(static_cast<std::uint64_t>(result.totalInstances));
+    registry.gauge("scheduler.utilization").set(result.utilization());
     return result;
 }
 
@@ -81,6 +98,7 @@ PolicyResult
 Cluster::runPredictedPolicy(double qos_target,
                             const std::string &name) const
 {
+    obs::Span span("scheduler.policy", name);
     std::vector<int> instances(assignment_.size(), 0);
     for (size_t s = 0; s < assignment_.size(); ++s) {
         const Pairing &pairing = pairings_[assignment_[s].pairing];
@@ -97,6 +115,7 @@ Cluster::runPredictedPolicy(double qos_target,
 PolicyResult
 Cluster::runOraclePolicy(double qos_target) const
 {
+    obs::Span span("scheduler.policy", "Oracle");
     std::vector<int> instances(assignment_.size(), 0);
     for (size_t s = 0; s < assignment_.size(); ++s) {
         const Pairing &pairing = pairings_[assignment_[s].pairing];
@@ -114,6 +133,7 @@ PolicyResult
 Cluster::runRandomPolicy(double qos_target, double match_instances,
                          std::uint64_t seed) const
 {
+    obs::Span span("scheduler.policy", "Random");
     // Draw uniform instance counts, then nudge random servers until
     // the total matches the utilization gain we must reproduce.
     workload::Rng rng(seed);

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace smite::sim {
 
@@ -107,6 +111,8 @@ std::vector<CounterBlock>
 Machine::run(const std::vector<Placement> &placements, Cycle warmup,
              Cycle measure) const
 {
+    obs::Span span("machine.run",
+                   std::to_string(placements.size()) + " contexts");
     MemorySystem mem(config_);
     std::vector<SmtCore> cores;
     cores.reserve(config_.numCores);
@@ -175,6 +181,17 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
     std::vector<CounterBlock> results(placements.size());
     for (size_t i = 0; i < placements.size(); ++i)
         results[i] = counters_of(i) - at_warmup[i];
+
+    static obs::Counter &runs =
+        obs::Registry::global().counter("machine.runs");
+    static obs::Counter &cycles =
+        obs::Registry::global().counter("machine.cycles");
+    static obs::Histogram &ipc_samples =
+        obs::Registry::global().histogram("machine.ipc");
+    runs.add();
+    cycles.add(warmup + measure);
+    for (const CounterBlock &block : results)
+        ipc_samples.observe(block.ipc());
     return results;
 }
 

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Validator for the observability artifacts the bench harnesses emit.
+ *
+ * Two subcommands, both exiting 0 on a structurally valid document and
+ * 1 (with a diagnostic on stderr) otherwise:
+ *
+ *   obs_check trace <file>.trace.json
+ *       Chrome trace_event document: requires a traceEvents array of
+ *       complete ("ph":"X") events, each with a name, pid/tid and
+ *       numeric ts/dur. Prints the distinct span names, one per line.
+ *
+ *   obs_check report <file>.report.json
+ *       Run report: requires the smite-run-report/1 schema stamp, the
+ *       run name, and the config/timings/results/metrics sections with
+ *       well-formed histogram summaries. Prints every metric name, one
+ *       per line.
+ *
+ * The printed names feed the tier-1 smoke test, which greps each one
+ * against the catalog in docs/OBSERVABILITY.md.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+using smite::obs::json::Value;
+
+bool
+fail(const std::string &message)
+{
+    std::fprintf(stderr, "obs_check: %s\n", message.c_str());
+    return false;
+}
+
+bool
+loadJson(const char *path, Value *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(std::string("cannot open ") + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (!Value::parse(buffer.str(), out, &error))
+        return fail(std::string(path) + ": " + error);
+    return true;
+}
+
+bool
+checkTrace(const char *path)
+{
+    Value doc;
+    if (!loadJson(path, &doc))
+        return false;
+    if (!doc.isObject())
+        return fail("trace document is not an object");
+    const Value *events = doc.find("traceEvents");
+    if (events == nullptr || !events->isArray())
+        return fail("missing traceEvents array");
+    if (events->items().empty())
+        return fail("traceEvents is empty");
+
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < events->items().size(); ++i) {
+        const Value &e = events->items()[i];
+        const std::string at = "traceEvents[" + std::to_string(i) + "]";
+        if (!e.isObject())
+            return fail(at + " is not an object");
+        const Value *name = e.find("name");
+        if (name == nullptr || !name->isString() ||
+            name->asString().empty()) {
+            return fail(at + " has no name");
+        }
+        const Value *ph = e.find("ph");
+        if (ph == nullptr || !ph->isString() || ph->asString() != "X")
+            return fail(at + " is not a complete (ph=X) event");
+        for (const char *key : {"pid", "tid", "ts", "dur"}) {
+            const Value *v = e.find(key);
+            if (v == nullptr || !v->isNumber())
+                return fail(at + " lacks numeric " + key);
+        }
+        names.insert(name->asString());
+    }
+    for (const std::string &name : names)
+        std::printf("%s\n", name.c_str());
+    return true;
+}
+
+/** Requires @p doc.@p key to be an object; returns it or nullptr. */
+const Value *
+requireObject(const Value &doc, const char *key, bool *ok)
+{
+    const Value *section = doc.find(key);
+    if (section == nullptr || !section->isObject()) {
+        fail(std::string("missing object section: ") + key);
+        *ok = false;
+        return nullptr;
+    }
+    return section;
+}
+
+bool
+checkReport(const char *path)
+{
+    Value doc;
+    if (!loadJson(path, &doc))
+        return false;
+    if (!doc.isObject())
+        return fail("report document is not an object");
+
+    const Value *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString())
+        return fail("missing schema stamp");
+    if (schema->asString() != smite::obs::kRunReportSchema) {
+        return fail("unexpected schema \"" + schema->asString() +
+                    "\" (want " +
+                    std::string(smite::obs::kRunReportSchema) + ")");
+    }
+    const Value *name = doc.find("name");
+    if (name == nullptr || !name->isString() ||
+        name->asString().empty()) {
+        return fail("missing run name");
+    }
+
+    bool ok = true;
+    requireObject(doc, "config", &ok);
+    requireObject(doc, "timings", &ok);
+    requireObject(doc, "results", &ok);
+    const Value *metrics = requireObject(doc, "metrics", &ok);
+    if (!ok)
+        return false;
+
+    std::set<std::string> metric_names;
+    for (const char *kind : {"counters", "gauges", "histograms"}) {
+        const Value *section = requireObject(*metrics, kind, &ok);
+        if (section == nullptr)
+            return false;
+        for (const auto &[metric, value] : section->fields()) {
+            if (metric.empty())
+                return fail(std::string(kind) + " has an empty name");
+            if (!metric_names.insert(metric).second) {
+                return fail("metric registered under two kinds: " +
+                            metric);
+            }
+            if (std::string(kind) == "histograms") {
+                if (!value.isObject())
+                    return fail(metric + " summary is not an object");
+                for (const char *field :
+                     {"count", "sum", "mean", "min", "max", "p50",
+                      "p90", "p99"}) {
+                    const Value *v = value.find(field);
+                    if (v == nullptr || !v->isNumber()) {
+                        return fail(metric + " summary lacks numeric " +
+                                    field);
+                    }
+                }
+            } else if (!value.isNumber()) {
+                return fail(metric + " value is not a number");
+            }
+        }
+    }
+    for (const std::string &metric : metric_names)
+        std::printf("%s\n", metric.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: obs_check trace|report <file.json>\n");
+        return 2;
+    }
+    const std::string mode = argv[1];
+    if (mode == "trace")
+        return checkTrace(argv[2]) ? 0 : 1;
+    if (mode == "report")
+        return checkReport(argv[2]) ? 0 : 1;
+    std::fprintf(stderr, "obs_check: unknown subcommand %s\n",
+                 argv[1]);
+    return 2;
+}
