@@ -149,6 +149,11 @@ class ReportScope
                 std::chrono::steady_clock::now() - start_)
                 .count();
         report_.addTiming("total_s", total_s);
+        // A run that absorbed measurement failures advertises itself
+        // as partial, with the incident list attached: a degraded
+        // chaos run must never masquerade as a clean one.
+        if (obs::IncidentLog::global().count() > 0)
+            report_.markPartial(obs::IncidentLog::global().snapshot());
         if (obs::traceEnabled()) {
             // The whole-run span is recorded here rather than by a
             // Span destructor, which would fire only after the trace
@@ -244,23 +249,39 @@ runSpecPredictionExperiment(core::Lab &lab, core::CoLocationMode mode,
                 "measured deg", "SMiTe err", "PMU err");
     obs::json::Value per_benchmark = obs::json::Value::array();
     double total_measured = 0, total_smite = 0, total_pmu = 0;
+    int skipped_pairs = 0;
     for (const auto &victim : test) {
         double measured = 0, smite_err = 0, pmu_err = 0;
         int n = 0;
         for (const auto &aggressor : test) {
             if (victim.name == aggressor.name)
                 continue;
-            const double actual =
-                lab.pairDegradation(victim, aggressor, mode);
-            const double p_smite =
-                smite.predict(lab.characterization(victim, mode),
-                              lab.characterization(aggressor, mode));
-            const double p_pmu = pmu.predict(
-                lab.pmuProfile(victim), lab.pmuProfile(aggressor));
-            measured += actual;
-            smite_err += std::abs(p_smite - actual);
-            pmu_err += std::abs(p_pmu - actual);
-            ++n;
+            // A pair whose measurement failed past the Lab's retry
+            // budget is skipped (and the run reported partial) rather
+            // than aborting the whole evaluation.
+            try {
+                const double actual =
+                    lab.pairDegradation(victim, aggressor, mode);
+                const double p_smite = smite.predict(
+                    lab.characterization(victim, mode),
+                    lab.characterization(aggressor, mode));
+                const double p_pmu = pmu.predict(
+                    lab.pmuProfile(victim), lab.pmuProfile(aggressor));
+                measured += actual;
+                smite_err += std::abs(p_smite - actual);
+                pmu_err += std::abs(p_pmu - actual);
+                ++n;
+            } catch (const fault::MeasurementError &err) {
+                ++skipped_pairs;
+                obs::IncidentLog::global().record(
+                    "evaluation: skipped pair " + victim.name + "|" +
+                    aggressor.name + ": " + err.what());
+            }
+        }
+        if (n == 0) {
+            std::printf("%-16s %12s %12s %12s\n", victim.name.c_str(),
+                        "(no data)", "-", "-");
+            continue;
         }
         measured /= n;
         smite_err /= n;
@@ -277,6 +298,13 @@ runSpecPredictionExperiment(core::Lab &lab, core::CoLocationMode mode,
         total_measured += measured;
         total_smite += smite_err;
         total_pmu += pmu_err;
+    }
+    if (skipped_pairs > 0) {
+        std::printf("(%d test pair%s skipped after measurement "
+                    "failures)\n",
+                    skipped_pairs, skipped_pairs == 1 ? "" : "s");
+        ReportScope::recordResult("skipped_pairs",
+                                  obs::json::Value(skipped_pairs));
     }
     const double n = static_cast<double>(test.size());
     std::printf("%-16s %11.2f%% %11.2f%% %11.2f%%\n", "AVERAGE",

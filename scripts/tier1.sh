@@ -58,6 +58,47 @@ trap 'rm -rf "$OBS_DIR"' EXIT
 )
 echo "observability smoke: ok"
 
+# --- Chaos smoke ---------------------------------------------------
+# The same harness under a four-site fault plan must complete without
+# aborting, and the injected-fault / retry counters must be non-zero
+# (docs/ROBUSTNESS.md). Runs in a fresh directory so the chaos run
+# never shares a disk cache with the clean runs below.
+CHAOS_DIR="$(mktemp -d)"
+(
+    cd "$CHAOS_DIR"
+    SMITE_METRICS=1 \
+    SMITE_FAULTS='machine.jitter:p=1,sigma=0.05,seed=7;lab.measure:p=0.15,seed=11;disk.corrupt:p=0.2,seed=5;pool.delay:p=0.05,us=50,seed=3' \
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build/bench/bench_fig10_spec_smt_prediction" \
+        > chaos.stdout
+
+    "$REPO/build/tools/obs_check" report \
+        bench_fig10_spec_smt_prediction.report.json \
+        --nonzero lab.retries \
+        fault.machine.jitter.injected \
+        fault.lab.measure.injected \
+        fault.disk.corrupt.injected > /dev/null
+)
+rm -rf "$CHAOS_DIR"
+echo "chaos smoke: ok"
+
+# --- Determinism check ---------------------------------------------
+# With SMITE_FAULTS unset, two runs in fresh directories must produce
+# byte-identical stdout — the fault layer at rest changes nothing.
+DET_A="$(mktemp -d)"
+DET_B="$(mktemp -d)"
+for d in "$DET_A" "$DET_B"; do
+    (
+        cd "$d"
+        SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+            "$REPO/build/bench/bench_fig10_spec_smt_prediction" \
+            > fig10.stdout
+    )
+done
+cmp "$DET_A/fig10.stdout" "$DET_B/fig10.stdout"
+rm -rf "$DET_A" "$DET_B"
+echo "determinism: ok"
+
 # --- Markdown link check -------------------------------------------
 # Every relative link target in the top-level docs must exist.
 bad_links=0

@@ -45,6 +45,12 @@ modeName(CoLocationMode mode)
 struct Characterization {
     std::array<double, rulers::kNumDimensions> sensitivity{};
     std::array<double, rulers::kNumDimensions> contentiousness{};
+    /**
+     * False when the measurement failed past the retry budget (fault
+     * injection, see docs/ROBUSTNESS.md) and the arrays are
+     * meaningless. Batch consumers must skip invalid entries.
+     */
+    bool valid = true;
 };
 
 /**

@@ -1,27 +1,41 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
-#include <filesystem>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/parallel.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stats/summary.h"
 #include "workload/generator.h"
 
 namespace smite::core {
 
 namespace {
 
-/**
- * Version header of the disk-cache format. Files without it are read
- * as the legacy (v1, headerless) format; bump the version when a
- * record's shape changes so stale files are not silently misparsed.
- */
-constexpr const char *kCacheHeader = "smite-lab-cache v2";
+/** Resolve a positive-integer knob from the environment. */
+int
+envInt(const char *name, int fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
+            return static_cast<int>(n);
+        std::fprintf(stderr, "smite: %s='%s' invalid, using %d\n",
+                     name, env, fallback);
+    }
+    return fallback;
+}
 
 /** Format doubles for the cache file at full precision. */
 std::string
@@ -72,6 +86,71 @@ Lab::parallelism() const
     return parallelism_ > 0 ? parallelism_ : defaultThreadCount();
 }
 
+int
+Lab::maxAttempts() const
+{
+    if (maxAttempts_ > 0)
+        return maxAttempts_;
+    return envInt("SMITE_LAB_RETRIES", 3);
+}
+
+int
+Lab::trials() const
+{
+    if (trials_ > 0)
+        return trials_;
+    return envInt("SMITE_LAB_TRIALS", 1);
+}
+
+void
+Lab::onMeasurementFailure(const std::string &key, const char *what,
+                          int attempt, int max_attempts)
+{
+    static obs::Counter &retries =
+        obs::Registry::global().counter("lab.retries");
+    static obs::Counter &failures =
+        obs::Registry::global().counter("lab.failures");
+    if (attempt >= max_attempts) {
+        failures.add();
+        obs::IncidentLog::global().record(
+            "measurement '" + key + "' failed after " +
+            std::to_string(attempt) + " attempts: " + what);
+        throw;  // rethrow the MeasurementError being handled
+    }
+    retries.add();
+    // Exponential backoff, capped: on a real cluster a failed run is
+    // re-queued, not re-fired instantly. Unreachable without faults
+    // armed, so plain runs never sleep.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(50ull << std::min(attempt - 1, 6)));
+}
+
+std::vector<double>
+Lab::measureTrials(
+    const std::string &key,
+    const std::function<std::vector<double>(const std::string &)> &fn)
+{
+    const int n = trials();
+    static obs::Counter &trial_count =
+        obs::Registry::global().counter("lab.trials");
+    trial_count.add(static_cast<std::uint64_t>(n));
+    if (n <= 1)
+        return withRetry(key, fn);
+    std::vector<std::vector<double>> runs;
+    runs.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t)
+        runs.push_back(withRetry(key + "/t" + std::to_string(t), fn));
+    std::vector<double> out(runs.front().size());
+    for (std::size_t c = 0; c < out.size(); ++c) {
+        std::vector<double> samples;
+        samples.reserve(runs.size());
+        for (const auto &r : runs)
+            samples.push_back(r[c]);
+        out[c] = stats::robustMedian(samples);
+    }
+    return out;
+}
+
 std::string
 Lab::pairKey(const std::string &a, const std::string &b,
              CoLocationMode mode) const
@@ -80,19 +159,9 @@ Lab::pairKey(const std::string &a, const std::string &b,
 }
 
 void
-Lab::appendToDisk(const std::string &line)
+Lab::appendToDisk(const std::string &key, const std::string &line)
 {
-    if (diskCachePath_.empty())
-        return;
-    static obs::Counter &appends =
-        obs::Registry::global().counter("lab.disk.appends");
-    appends.add();
-    // One writer at a time keeps the write-through log line-atomic
-    // when batch measurements land from several threads.
-    std::lock_guard<std::mutex> lock(diskMu_);
-    std::ofstream out(diskCachePath_, std::ios::app);
-    out.precision(17);
-    out << line << "\n";
+    disk_.append(key, line);
 }
 
 void
@@ -113,7 +182,7 @@ Lab::loadDiskCache(const std::string &path)
         ++lineno;
         if (first) {
             first = false;
-            if (line == kCacheHeader)
+            if (line == kLabCacheHeader)
                 continue;  // current format
             if (line.rfind("smite-lab-cache", 0) == 0) {
                 std::fprintf(stderr,
@@ -201,17 +270,11 @@ Lab::loadDiskCache(const std::string &path)
 void
 Lab::enableDiskCache(const std::string &path)
 {
-    loadDiskCache(path);
-    diskCachePath_ = path;
-    // Stamp new (or empty) files with the format version so future
-    // readers can reject records whose shape has since changed.
-    std::error_code ec;
-    if (!std::filesystem::exists(path, ec) ||
-        std::filesystem::file_size(path, ec) == 0) {
-        std::lock_guard<std::mutex> lock(diskMu_);
-        std::ofstream out(path, std::ios::app);
-        out << kCacheHeader << "\n";
-    }
+    disk_.open(path);
+    // Preload the legacy single file (if present) and every existing
+    // shard; new records land sharded, headers created lazily.
+    for (const std::string &file : disk_.readPaths())
+        loadDiskCache(file);
 }
 
 double
@@ -221,9 +284,14 @@ Lab::soloIpc(const workload::WorkloadProfile &profile, int threads)
         profile.name + "#" + std::to_string(threads);
     return soloIpcCache_.getOrCompute(key, [&] {
         obs::Span span("lab.solo_ipc", key);
-        const double ipc = characterizer_.soloIpc(profile, threads);
-        appendToDisk("solo " + key + formatValues({ipc}));
-        return ipc;
+        const std::vector<double> vals =
+            measureTrials(key, [&](const std::string &tkey) {
+                fault::maybeThrow("lab.measure", tkey);
+                return std::vector<double>{
+                    characterizer_.soloIpc(profile, threads)};
+            });
+        appendToDisk(key, "solo " + key + formatValues({vals[0]}));
+        return vals[0];
     });
 }
 
@@ -232,8 +300,11 @@ Lab::soloCounters(const workload::WorkloadProfile &profile)
 {
     return soloCounterCache_.getOrCompute(profile.name, [&] {
         obs::Span span("lab.solo_counters", profile.name);
-        workload::ProfileUopSource source(profile);
-        return machine_.runSolo(source, warmup_, measure_);
+        return withRetry(profile.name, [&](const std::string &tkey) {
+            fault::maybeThrow("lab.measure", tkey);
+            workload::ProfileUopSource source(profile);
+            return machine_.runSolo(source, warmup_, measure_);
+        });
     });
 }
 
@@ -242,11 +313,12 @@ Lab::pmuProfile(const workload::WorkloadProfile &profile)
 {
     return pmuCache_.getOrCompute(profile.name, [&] {
         obs::Span span("lab.pmu_profile", profile.name);
+        // Retry lives in soloCounters(); this lambda only derives.
         const PmuProfile rates = soloCounters(profile).pmuRates();
         std::string line = "pmu " + profile.name;
         for (double v : rates)
             line += formatValues({v});
-        appendToDisk(line);
+        appendToDisk(profile.name, line);
         return rates;
     });
 }
@@ -260,13 +332,17 @@ Lab::characterization(const workload::WorkloadProfile &profile,
     return characterizationCache_.getOrCompute(key, [&] {
         obs::Span span("lab.characterize", key);
         Characterization c =
-            characterizer_.characterize(profile, mode, threads);
+            withRetry(key, [&](const std::string &tkey) {
+                fault::maybeThrow("lab.measure", tkey);
+                return characterizer_.characterize(profile, mode,
+                                                   threads);
+            });
         std::string line = "char " + key;
         for (double v : c.sensitivity)
             line += formatValues({v});
         for (double v : c.contentiousness)
             line += formatValues({v});
-        appendToDisk(line);
+        appendToDisk(key, line);
         return c;
     });
 }
@@ -294,24 +370,36 @@ Lab::pairDegradation(const workload::WorkloadProfile &victim,
 
     const auto &degs = pairCache_.getOrCompute(canonical, [&] {
         obs::Span span("lab.pair", canonical);
-        workload::ProfileUopSource a(first, /*seed=*/1);
-        workload::ProfileUopSource b(second, /*seed=*/2);
-        const auto counters =
-            mode == CoLocationMode::kSmt
-                ? machine_.runPairSmt(a, b, warmup_, measure_)
-                : machine_.runPairCmp(a, b, warmup_, measure_);
-
+        // The solo references have their own retry/trial protocol;
+        // hoist them so a pair-trial failure never double-counts a
+        // solo failure.
         const double solo_a = soloIpc(first);
         const double solo_b = soloIpc(second);
-        const double deg_a =
-            solo_a > 0.0 ? (solo_a - counters[0].ipc()) / solo_a : 0.0;
-        const double deg_b =
-            solo_b > 0.0 ? (solo_b - counters[1].ipc()) / solo_b : 0.0;
+        const std::vector<double> deg =
+            measureTrials(canonical, [&](const std::string &tkey) {
+                fault::maybeThrow("lab.measure", tkey);
+                workload::ProfileUopSource a(first, /*seed=*/1);
+                workload::ProfileUopSource b(second, /*seed=*/2);
+                const auto counters =
+                    mode == CoLocationMode::kSmt
+                        ? machine_.runPairSmt(a, b, warmup_, measure_)
+                        : machine_.runPairCmp(a, b, warmup_, measure_);
+                const double deg_a =
+                    solo_a > 0.0
+                        ? (solo_a - counters[0].ipc()) / solo_a
+                        : 0.0;
+                const double deg_b =
+                    solo_b > 0.0
+                        ? (solo_b - counters[1].ipc()) / solo_b
+                        : 0.0;
+                return std::vector<double>{deg_a, deg_b};
+            });
 
-        appendToDisk("pair " + canonical +
-                     formatValues({deg_a, deg_b}));
-        appendToDisk("pair " + mirror + formatValues({deg_b, deg_a}));
-        return std::make_pair(deg_a, deg_b);
+        appendToDisk(canonical, "pair " + canonical +
+                                    formatValues({deg[0], deg[1]}));
+        appendToDisk(mirror,
+                     "pair " + mirror + formatValues({deg[1], deg[0]}));
+        return std::make_pair(deg[0], deg[1]);
     });
     pairCache_.put(mirror, {degs.second, degs.first});
     return ordered ? degs.first : degs.second;
@@ -325,22 +413,30 @@ Lab::pairPortUtilization(const workload::WorkloadProfile &a,
     const std::string key = "ports|" + pairKey(a.name, b.name, mode);
     return portCache_.getOrCompute(key, [&] {
         obs::Span span("lab.ports", key);
-        workload::ProfileUopSource sa(a, /*seed=*/1);
-        workload::ProfileUopSource sb(b, /*seed=*/2);
-        const auto counters =
-            mode == CoLocationMode::kSmt
-                ? machine_.runPairSmt(sa, sb, warmup_, measure_)
-                : machine_.runPairCmp(sa, sb, warmup_, measure_);
+        const std::vector<double> vals =
+            measureTrials(key, [&](const std::string &tkey) {
+                fault::maybeThrow("lab.measure", tkey);
+                workload::ProfileUopSource sa(a, /*seed=*/1);
+                workload::ProfileUopSource sb(b, /*seed=*/2);
+                const auto counters =
+                    mode == CoLocationMode::kSmt
+                        ? machine_.runPairSmt(sa, sb, warmup_, measure_)
+                        : machine_.runPairCmp(sa, sb, warmup_,
+                                              measure_);
+                std::vector<double> u(sim::kNumPorts);
+                for (int p = 0; p < sim::kNumPorts; ++p) {
+                    u[p] = counters[0].portUtilization(p) +
+                           counters[1].portUtilization(p);
+                }
+                return u;
+            });
 
         std::array<double, sim::kNumPorts> utilization{};
-        for (int p = 0; p < sim::kNumPorts; ++p) {
-            utilization[p] = counters[0].portUtilization(p) +
-                             counters[1].portUtilization(p);
-        }
+        std::copy(vals.begin(), vals.end(), utilization.begin());
         std::string line = "ports " + key;
         for (double u : utilization)
             line += formatValues({u});
-        appendToDisk(line);
+        appendToDisk(key, line);
         return utilization;
     });
 }
@@ -365,39 +461,45 @@ Lab::multiInstanceDegradation(const workload::WorkloadProfile &latency,
                             std::to_string(instances);
     return multiCache_.getOrCompute(key, [&] {
         obs::Span span("lab.multi", key);
-        // Latency app: context 0 of cores 0..threads-1.
-        std::vector<workload::ProfileUopSource> app_sources;
-        app_sources.reserve(threads);
-        for (int t = 0; t < threads; ++t)
-            app_sources.emplace_back(latency, /*seed=*/1 + t);
-        std::vector<sim::Placement> placements;
-        for (int t = 0; t < threads; ++t)
-            placements.push_back(sim::Placement{t, 0, &app_sources[t]});
-
-        // Batch instances: sibling contexts (SMT) or the idle cores
-        // (CMP).
-        std::vector<workload::ProfileUopSource> batch_sources;
-        batch_sources.reserve(instances);
-        for (int k = 0; k < instances; ++k)
-            batch_sources.emplace_back(batch, /*seed=*/100 + k);
-        for (int k = 0; k < instances; ++k) {
-            if (mode == CoLocationMode::kSmt)
-                placements.push_back(
-                    sim::Placement{k, 1, &batch_sources[k]});
-            else
-                placements.push_back(
-                    sim::Placement{threads + k, 0, &batch_sources[k]});
-        }
-
-        const auto counters = machine_.run(placements, warmup_, measure_);
-        double co_ipc = 0.0;
-        for (int t = 0; t < threads; ++t)
-            co_ipc += counters[t].ipc();
-
         const double solo = soloIpc(latency, threads);
-        const double deg = solo > 0.0 ? (solo - co_ipc) / solo : 0.0;
-        appendToDisk("multi " + key + formatValues({deg}));
-        return deg;
+        const std::vector<double> vals =
+            measureTrials(key, [&](const std::string &tkey) {
+                fault::maybeThrow("lab.measure", tkey);
+                // Latency app: context 0 of cores 0..threads-1.
+                std::vector<workload::ProfileUopSource> app_sources;
+                app_sources.reserve(threads);
+                for (int t = 0; t < threads; ++t)
+                    app_sources.emplace_back(latency, /*seed=*/1 + t);
+                std::vector<sim::Placement> placements;
+                for (int t = 0; t < threads; ++t)
+                    placements.push_back(
+                        sim::Placement{t, 0, &app_sources[t]});
+
+                // Batch instances: sibling contexts (SMT) or the
+                // idle cores (CMP).
+                std::vector<workload::ProfileUopSource> batch_sources;
+                batch_sources.reserve(instances);
+                for (int k = 0; k < instances; ++k)
+                    batch_sources.emplace_back(batch, /*seed=*/100 + k);
+                for (int k = 0; k < instances; ++k) {
+                    if (mode == CoLocationMode::kSmt)
+                        placements.push_back(
+                            sim::Placement{k, 1, &batch_sources[k]});
+                    else
+                        placements.push_back(sim::Placement{
+                            threads + k, 0, &batch_sources[k]});
+                }
+
+                const auto counters =
+                    machine_.run(placements, warmup_, measure_);
+                double co_ipc = 0.0;
+                for (int t = 0; t < threads; ++t)
+                    co_ipc += counters[t].ipc();
+                return std::vector<double>{
+                    solo > 0.0 ? (solo - co_ipc) / solo : 0.0};
+            });
+        appendToDisk(key, "multi " + key + formatValues({vals[0]}));
+        return vals[0];
     });
 }
 
@@ -408,7 +510,15 @@ Lab::soloIpcAll(const std::vector<workload::WorkloadProfile> &profiles,
     std::vector<double> results(profiles.size());
     parallelFor(
         profiles.size(),
-        [&](std::size_t i) { results[i] = soloIpc(profiles[i], threads); },
+        [&](std::size_t i) {
+            try {
+                results[i] = soloIpc(profiles[i], threads);
+            } catch (const fault::MeasurementError &) {
+                // Retry budget spent (already logged): NaN marks the
+                // hole instead of sinking the whole batch.
+                results[i] = std::nan("");
+            }
+        },
         parallelism());
     return results;
 }
@@ -431,7 +541,12 @@ Lab::characterizeAll(const std::vector<workload::WorkloadProfile> &profiles,
     parallelFor(
         profiles.size(),
         [&](std::size_t i) {
-            results[i] = characterization(profiles[i], mode, threads);
+            try {
+                results[i] =
+                    characterization(profiles[i], mode, threads);
+            } catch (const fault::MeasurementError &) {
+                results[i].valid = false;
+            }
         },
         workers);
     return results;
@@ -443,7 +558,13 @@ Lab::pmuProfileAll(const std::vector<workload::WorkloadProfile> &profiles)
     std::vector<PmuProfile> results(profiles.size());
     parallelFor(
         profiles.size(),
-        [&](std::size_t i) { results[i] = pmuProfile(profiles[i]); },
+        [&](std::size_t i) {
+            try {
+                results[i] = pmuProfile(profiles[i]);
+            } catch (const fault::MeasurementError &) {
+                results[i].fill(std::nan(""));
+            }
+        },
         parallelism());
     return results;
 }
@@ -457,8 +578,16 @@ Lab::measureAllPairs(const std::vector<workload::WorkloadProfile> &profiles,
 
     // Solo IPCs enter every degradation; measure them first so pair
     // tasks don't serialize on the single-flight solo of a hot name.
+    // A solo failure here resurfaces from the pair that needs it.
     parallelFor(
-        n, [&](std::size_t i) { soloIpc(profiles[i]); }, workers);
+        n,
+        [&](std::size_t i) {
+            try {
+                soloIpc(profiles[i]);
+            } catch (const fault::MeasurementError &) {
+            }
+        },
+        workers);
 
     // One task per unordered pair covers both directions.
     std::vector<std::pair<std::size_t, std::size_t>> tasks;
@@ -470,18 +599,31 @@ Lab::measureAllPairs(const std::vector<workload::WorkloadProfile> &profiles,
     parallelFor(
         tasks.size(),
         [&](std::size_t t) {
-            pairDegradation(profiles[tasks[t].first],
-                            profiles[tasks[t].second], mode);
+            try {
+                pairDegradation(profiles[tasks[t].first],
+                                profiles[tasks[t].second], mode);
+            } catch (const fault::MeasurementError &) {
+                // The assembly pass below marks the hole.
+            }
         },
         workers);
 
-    // Assemble in input order from the (now warm) cache.
+    // Assemble in input order from the (now warm) cache; a pair that
+    // failed past its retry budget re-fails deterministically here
+    // and lands as NaN.
     std::vector<std::vector<double>> result(n, std::vector<double>(n));
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
-            result[i][j] =
-                i == j ? 0.0
-                       : pairDegradation(profiles[i], profiles[j], mode);
+            if (i == j) {
+                result[i][j] = 0.0;
+                continue;
+            }
+            try {
+                result[i][j] =
+                    pairDegradation(profiles[i], profiles[j], mode);
+            } catch (const fault::MeasurementError &) {
+                result[i][j] = std::nan("");
+            }
         }
     }
     return result;
@@ -492,20 +634,36 @@ Lab::trainSmite(const std::vector<workload::WorkloadProfile> &training_set,
                 CoLocationMode mode)
 {
     obs::Span span("lab.train_smite", modeName(mode));
+    static obs::Counter &dropped =
+        obs::Registry::global().counter("lab.dropped_samples");
     // Fan the independent measurements out; the serial assembly below
-    // then runs entirely on cache hits, in the original sample order.
-    characterizeAll(training_set, mode);
-    measureAllPairs(training_set, mode);
+    // then reads the batch results in the original sample order.
+    const std::vector<Characterization> chars =
+        characterizeAll(training_set, mode);
+    const std::vector<std::vector<double>> pairs =
+        measureAllPairs(training_set, mode);
 
     std::vector<SmiteModel::Sample> samples;
-    for (const auto &a : training_set) {
-        for (const auto &b : training_set) {
-            if (a.name == b.name)
+    for (std::size_t i = 0; i < training_set.size(); ++i) {
+        for (std::size_t j = 0; j < training_set.size(); ++j) {
+            if (training_set[i].name == training_set[j].name)
                 continue;
+            // A sample whose characterization or degradation failed
+            // past the retry budget is dropped from the fit, not
+            // allowed to poison it.
+            if (!chars[i].valid || !chars[j].valid ||
+                std::isnan(pairs[i][j])) {
+                dropped.add();
+                obs::IncidentLog::global().record(
+                    "trainSmite: dropped sample " +
+                    training_set[i].name + "|" + training_set[j].name +
+                    " (" + modeName(mode) + ")");
+                continue;
+            }
             SmiteModel::Sample s;
-            s.victim = characterization(a, mode);
-            s.aggressor = characterization(b, mode);
-            s.degradation = pairDegradation(a, b, mode);
+            s.victim = chars[i];
+            s.aggressor = chars[j];
+            s.degradation = pairs[i][j];
             samples.push_back(std::move(s));
         }
     }
@@ -517,18 +675,32 @@ Lab::trainPmu(const std::vector<workload::WorkloadProfile> &training_set,
               CoLocationMode mode)
 {
     obs::Span span("lab.train_pmu", modeName(mode));
-    pmuProfileAll(training_set);
-    measureAllPairs(training_set, mode);
+    static obs::Counter &dropped =
+        obs::Registry::global().counter("lab.dropped_samples");
+    const std::vector<PmuProfile> profiles =
+        pmuProfileAll(training_set);
+    const std::vector<std::vector<double>> pairs =
+        measureAllPairs(training_set, mode);
 
     std::vector<PmuModel::Sample> samples;
-    for (const auto &a : training_set) {
-        for (const auto &b : training_set) {
-            if (a.name == b.name)
+    for (std::size_t i = 0; i < training_set.size(); ++i) {
+        for (std::size_t j = 0; j < training_set.size(); ++j) {
+            if (training_set[i].name == training_set[j].name)
                 continue;
+            if (std::isnan(profiles[i][0]) ||
+                std::isnan(profiles[j][0]) ||
+                std::isnan(pairs[i][j])) {
+                dropped.add();
+                obs::IncidentLog::global().record(
+                    "trainPmu: dropped sample " + training_set[i].name +
+                    "|" + training_set[j].name + " (" + modeName(mode) +
+                    ")");
+                continue;
+            }
             PmuModel::Sample s;
-            s.victim = pmuProfile(a);
-            s.aggressor = pmuProfile(b);
-            s.degradation = pairDegradation(a, b, mode);
+            s.victim = profiles[i];
+            s.aggressor = profiles[j];
+            s.degradation = pairs[i][j];
             samples.push_back(std::move(s));
         }
     }

@@ -19,6 +19,18 @@
  * paper's protocol out across a thread pool (SMITE_THREADS or
  * setParallelism() controls the width) and assemble results in input
  * order, byte-identical to the serial loop.
+ *
+ * The Lab is also the pipeline's resilience boundary (see
+ * docs/ROBUSTNESS.md). Real-machine measurement campaigns lose runs;
+ * the fault layer (src/fault) simulates that, and the Lab absorbs it:
+ * every measurement is retried with backoff on a transient
+ * MeasurementError (SMITE_LAB_RETRIES attempts, default 3), can run
+ * as a median-of-N multi-trial protocol with MAD outlier rejection
+ * (SMITE_LAB_TRIALS, default 1), and the batch/training APIs degrade
+ * gracefully — a sample that fails past the retry budget is marked
+ * invalid or dropped from the fit and logged to the IncidentLog
+ * instead of aborting the run. With no faults armed none of this
+ * changes a single output byte.
  */
 
 #ifndef SMITE_CORE_EXPERIMENT_H
@@ -26,15 +38,17 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/characterize.h"
+#include "core/disk_cache.h"
 #include "core/memo_cache.h"
 #include "core/pmu_model.h"
 #include "core/smite_model.h"
+#include "fault/fault.h"
 #include "sim/machine.h"
 #include "workload/profile.h"
 
@@ -84,6 +98,27 @@ class Lab
 
     /** The resolved batch-API worker count. */
     int parallelism() const;
+
+    /**
+     * Attempts per measurement before a transient MeasurementError
+     * is surfaced: 0 (default) means the SMITE_LAB_RETRIES
+     * environment variable, else 3. 1 disables retrying.
+     */
+    void setMaxAttempts(int attempts) { maxAttempts_ = attempts; }
+
+    /** The resolved per-measurement attempt budget (at least 1). */
+    int maxAttempts() const;
+
+    /**
+     * Independent trials per scalar measurement, aggregated with an
+     * MAD-robust median: 0 (default) means the SMITE_LAB_TRIALS
+     * environment variable, else 1 (single-shot, byte-identical to
+     * the historical protocol).
+     */
+    void setTrials(int trials) { trials_ = trials; }
+
+    /** The resolved trial count (at least 1). */
+    int trials() const;
 
     /** Solo IPC (aggregate over @p threads instances, one per core). */
     double soloIpc(const workload::WorkloadProfile &profile,
@@ -191,14 +226,21 @@ class Lab
                                    int threads);
 
     /**
-     * Persist measurements to @p path (write-through) and preload
+     * Persist measurements under @p path (write-through) and preload
      * any measurements already recorded there. Several experiment
      * harnesses share co-location measurements this way instead of
-     * re-simulating them. The file is a plain text key/value log
-     * headed by a version line; delete it to invalidate. Corrupt or
-     * truncated lines are skipped with a warning on stderr.
+     * re-simulating them. Records are sharded across
+     * `<path>.shard0..N-1` by key hash (SMITE_CACHE_SHARDS files,
+     * default 4, each with its own writer lock); a legacy single
+     * file at @p path itself is still preloaded. Each file is a
+     * plain text key/value log headed by a version line; delete the
+     * files to invalidate. Corrupt or truncated lines are skipped
+     * with a warning on stderr.
      */
     void enableDiskCache(const std::string &path);
+
+    /** The sharded disk cache (for inspection in tests). */
+    const ShardedDiskCache &diskCache() const { return disk_; }
 
     /** Per-cache counts of measurements actually simulated. */
     struct Stats {
@@ -223,10 +265,52 @@ class Lab
     Stats stats() const;
 
   private:
-    void appendToDisk(const std::string &line);
+    void appendToDisk(const std::string &key, const std::string &line);
     void loadDiskCache(const std::string &path);
     std::string pairKey(const std::string &a, const std::string &b,
                         CoLocationMode mode) const;
+
+    /**
+     * Handle one failed measurement attempt: count a retry and back
+     * off, or — once the attempt budget is spent — count a failure,
+     * log an incident and rethrow the active MeasurementError. Must
+     * be called from inside a catch handler.
+     */
+    void onMeasurementFailure(const std::string &key, const char *what,
+                              int attempt, int max_attempts);
+
+    /**
+     * Run @p fn until it succeeds or the attempt budget is spent.
+     * @p fn receives an attempt-qualified key ("<key>/aN") so keyed
+     * fault decisions differ between attempts — a transient fault
+     * stays transient.
+     */
+    template <typename Fn>
+    auto
+    withRetry(const std::string &key, Fn &&fn)
+    {
+        const int attempts = maxAttempts();
+        for (int attempt = 1;; ++attempt) {
+            try {
+                return fn(key + "/a" + std::to_string(attempt));
+            } catch (const fault::MeasurementError &err) {
+                onMeasurementFailure(key, err.what(), attempt,
+                                     attempts);
+            }
+        }
+    }
+
+    /**
+     * The multi-trial measurement protocol: run @p fn trials() times
+     * (each trial retried independently, keys "<key>/tT/aN") and
+     * reduce component-wise with the MAD-robust median. One trial
+     * short-circuits to plain retry, preserving byte-identical
+     * single-shot behaviour.
+     */
+    std::vector<double> measureTrials(
+        const std::string &key,
+        const std::function<std::vector<double>(const std::string &)>
+            &fn);
 
     sim::Machine machine_;
     std::vector<rulers::Ruler> suite_;
@@ -234,6 +318,8 @@ class Lab
     sim::Cycle warmup_;
     sim::Cycle measure_;
     int parallelism_ = 0;
+    int maxAttempts_ = 0;
+    int trials_ = 0;
 
     MemoCache<std::string, double> soloIpcCache_;
     MemoCache<std::string, sim::CounterBlock> soloCounterCache_;
@@ -245,8 +331,7 @@ class Lab
     MemoCache<std::string, std::array<double, sim::kNumPorts>>
         portCache_;
 
-    std::mutex diskMu_;          ///< one writer at a time
-    std::string diskCachePath_;  ///< empty = disk cache disabled
+    ShardedDiskCache disk_;  ///< not enabled() = disk cache disabled
 };
 
 } // namespace smite::core

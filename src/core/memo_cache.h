@@ -14,16 +14,18 @@
  *     until the value is ready and then share it. Two threads never
  *     simulate the same key twice.
  *
- * Values live in a std::map, whose nodes are never moved, so the
- * references handed out stay valid for the cache's lifetime — the
- * Lab's reference-returning accessors keep their contract under
+ * Slots are heap-allocated and shared, so the references handed out
+ * stay valid for as long as any consumer holds them — the Lab's
+ * reference-returning accessors keep their contract under
  * concurrency.
  *
- * If a compute function throws, the exception is captured in the
- * slot and rethrown to the computing caller and to every waiter (and
- * to any later caller of the same key): measurement failures here are
- * argument errors, not transient conditions, so retrying would only
- * repeat the throw.
+ * Failure semantics (pinned by tests/test_parallel.cpp): if a compute
+ * function throws, the exception propagates to the computing caller
+ * *and* to every thread waiting on that in-flight key, but the key is
+ * NOT poisoned — the failed slot is discarded, and a later call with
+ * the same key runs the compute function again. Measurement failures
+ * are transient under fault injection (see src/fault), so retrying
+ * must be possible; only successful values are memoized.
  */
 
 #ifndef SMITE_CORE_MEMO_CACHE_H
@@ -34,6 +36,7 @@
 #include <cstdint>
 #include <exception>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -76,7 +79,10 @@ class MemoCache
      * Return the cached value for @p key, computing it with
      * @p compute on a miss. Concurrent callers of the same key
      * block until the one elected computer finishes (single-flight).
-     * The returned reference is stable for the cache's lifetime.
+     * If the computer throws, all of them — computer and waiters —
+     * see the exception and the key is left absent, so the next call
+     * retries. The returned reference is stable for the cache's
+     * lifetime.
      */
     template <typename Fn>
     const Value &
@@ -85,25 +91,32 @@ class MemoCache
         {
             std::shared_lock<std::shared_mutex> read(mu_);
             const auto it = slots_.find(key);
-            if (it != slots_.end() && it->second.ready) {
+            if (it != slots_.end() && it->second->ready) {
                 if (hits_)
                     hits_->add();
-                return unwrap(it->second);
+                return it->second->value;
             }
         }
         std::unique_lock<std::shared_mutex> write(mu_);
         const auto [it, inserted] = slots_.try_emplace(key);
         if (!inserted) {
             // Someone else owns (or finished) this key: wait it out.
-            if (it->second.ready) {
+            // Keep the slot alive independently of the map — a failed
+            // flight erases its map entry before we wake.
+            const std::shared_ptr<Slot> slot = it->second;
+            if (slot->ready) {
                 if (hits_)
                     hits_->add();
             } else if (waits_) {
                 waits_->add();
             }
-            cv_.wait(write, [&] { return it->second.ready; });
-            return unwrap(it->second);
+            cv_.wait(write, [&] { return slot->ready; });
+            if (slot->error)
+                std::rethrow_exception(slot->error);
+            return slot->value;
         }
+        it->second = std::make_shared<Slot>();
+        const std::shared_ptr<Slot> slot = it->second;
         if (misses_)
             misses_->add();
         // We own the computation; run it unlocked so other keys
@@ -118,11 +131,18 @@ class MemoCache
             error = std::current_exception();
         }
         write.lock();
-        it->second.value = std::move(value);
-        it->second.error = error;
-        it->second.ready = true;
+        slot->value = std::move(value);
+        slot->error = error;
+        slot->ready = true;
+        if (error) {
+            // Don't memoize the failure: waiters hold the slot and
+            // rethrow; the next caller finds no entry and retries.
+            slots_.erase(key);
+        }
         cv_.notify_all();
-        return unwrap(it->second);
+        if (error)
+            std::rethrow_exception(error);
+        return slot->value;
     }
 
     /**
@@ -137,8 +157,9 @@ class MemoCache
         const auto [it, inserted] = slots_.try_emplace(key);
         if (!inserted)
             return;
-        it->second.value = std::move(value);
-        it->second.ready = true;
+        it->second = std::make_shared<Slot>();
+        it->second->value = std::move(value);
+        it->second->ready = true;
     }
 
     /** Ready value for @p key, or nullptr if absent or in flight. */
@@ -147,16 +168,14 @@ class MemoCache
     {
         std::shared_lock<std::shared_mutex> read(mu_);
         const auto it = slots_.find(key);
-        if (it == slots_.end() || !it->second.ready ||
-            it->second.error) {
+        if (it == slots_.end() || !it->second->ready)
             return nullptr;
-        }
         if (hits_)
             hits_->add();
-        return &it->second.value;
+        return &it->second->value;
     }
 
-    /** Number of compute invocations (misses actually simulated). */
+    /** Number of compute invocations (misses actually attempted). */
     std::uint64_t
     computeCount() const
     {
@@ -178,17 +197,9 @@ class MemoCache
         bool ready = false;
     };
 
-    static const Value &
-    unwrap(const Slot &slot)
-    {
-        if (slot.error)
-            std::rethrow_exception(slot.error);
-        return slot.value;
-    }
-
     mutable std::shared_mutex mu_;
     std::condition_variable_any cv_;
-    std::map<Key, Slot> slots_;
+    std::map<Key, std::shared_ptr<Slot>> slots_;
     std::atomic<std::uint64_t> computes_{0};
     obs::Counter *hits_ = nullptr;    ///< null until instrument()
     obs::Counter *misses_ = nullptr;

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -33,10 +35,32 @@ struct PoolMetrics {
     }
 };
 
+/**
+ * `pool.delay` fault site: stall this task for the site's configured
+ * microseconds, emulating a loaded machine where some workers lag.
+ * Purely a scheduling perturbation — results must not change, which
+ * is exactly what the determinism tests lean on.
+ */
+void
+maybeDelayTask(std::size_t i)
+{
+    fault::FaultPlan &faults = fault::FaultPlan::global();
+    if (!faults.enabled())
+        return;
+    if (!faults.shouldInject("pool.delay", std::to_string(i)))
+        return;
+    const double us = faults.spec("pool.delay").micros;
+    if (us > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double,
+                                                          std::micro>(us));
+    }
+}
+
 /** Run one iteration, timing it into the histogram when enabled. */
 void
 runTimed(const std::function<void(std::size_t)> &body, std::size_t i)
 {
+    maybeDelayTask(i);
     if (!obs::metricsEnabled()) {
         body(i);
         return;

@@ -1,0 +1,158 @@
+#include "obs/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace smite::obs {
+
+namespace {
+
+const char *
+typeName(json::Value::Type t)
+{
+    switch (t) {
+    case json::Value::Type::kNull: return "null";
+    case json::Value::Type::kBool: return "bool";
+    case json::Value::Type::kNumber: return "number";
+    case json::Value::Type::kString: return "string";
+    case json::Value::Type::kArray: return "array";
+    case json::Value::Type::kObject: return "object";
+    }
+    return "?";
+}
+
+std::string
+formatNumber(double v)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << v;
+    return out.str();
+}
+
+void
+report(std::vector<ReportDiffEntry> &out, const std::string &path,
+       std::string detail)
+{
+    out.push_back(ReportDiffEntry{path, std::move(detail)});
+}
+
+void
+diffValue(const json::Value &a, const json::Value &b,
+          const std::string &path, const ReportDiffOptions &opts,
+          std::vector<ReportDiffEntry> &out)
+{
+    if (a.type() != b.type()) {
+        report(out, path,
+               std::string(typeName(a.type())) + " vs " +
+                   typeName(b.type()));
+        return;
+    }
+    switch (a.type()) {
+    case json::Value::Type::kNull:
+        break;
+    case json::Value::Type::kBool:
+        if (a.asBool() != b.asBool()) {
+            report(out, path,
+                   std::string(a.asBool() ? "true" : "false") + " vs " +
+                       (b.asBool() ? "true" : "false"));
+        }
+        break;
+    case json::Value::Type::kNumber: {
+        const double x = a.asNumber();
+        const double y = b.asNumber();
+        if (std::isnan(x) && std::isnan(y))
+            break;
+        const double scale =
+            std::max({std::fabs(x), std::fabs(y), 1e-12});
+        if (std::fabs(x - y) > opts.tolerance * scale) {
+            report(out, path, formatNumber(x) + " vs " + formatNumber(y));
+        }
+        break;
+    }
+    case json::Value::Type::kString:
+        if (a.asString() != b.asString()) {
+            report(out, path,
+                   "\"" + a.asString() + "\" vs \"" + b.asString() +
+                       "\"");
+        }
+        break;
+    case json::Value::Type::kArray: {
+        if (a.items().size() != b.items().size()) {
+            report(out, path,
+                   std::to_string(a.items().size()) + " vs " +
+                       std::to_string(b.items().size()) + " elements");
+            break;
+        }
+        for (std::size_t i = 0; i < a.items().size(); ++i) {
+            diffValue(a.items()[i], b.items()[i],
+                      path + "[" + std::to_string(i) + "]", opts, out);
+        }
+        break;
+    }
+    case json::Value::Type::kObject: {
+        // Fields of a in document order, then fields only b has.
+        for (const auto &[key, value] : a.fields()) {
+            const std::string child =
+                path.empty() ? key : path + "." + key;
+            if (const json::Value *other = b.find(key)) {
+                diffValue(value, *other, child, opts, out);
+            } else {
+                report(out, child, "present vs missing");
+            }
+        }
+        for (const auto &[key, value] : b.fields()) {
+            if (a.find(key) == nullptr) {
+                const std::string child =
+                    path.empty() ? key : path + "." + key;
+                report(out, child, "missing vs present");
+            }
+        }
+        break;
+    }
+    }
+}
+
+/** Diff one named top-level section when either document has it. */
+void
+diffSection(const json::Value &a, const json::Value &b,
+            const std::string &key, const ReportDiffOptions &opts,
+            std::vector<ReportDiffEntry> &out)
+{
+    static const json::Value empty;
+    const json::Value *va = a.find(key);
+    const json::Value *vb = b.find(key);
+    if (va == nullptr && vb == nullptr)
+        return;
+    diffValue(va != nullptr ? *va : empty, vb != nullptr ? *vb : empty,
+              key, opts, out);
+}
+
+} // namespace
+
+std::vector<ReportDiffEntry>
+diffReports(const json::Value &a, const json::Value &b,
+            const ReportDiffOptions &opts)
+{
+    std::vector<ReportDiffEntry> out;
+    diffSection(a, b, "name", opts, out);
+    diffSection(a, b, "results", opts, out);
+    // The partial flag is a headline difference: one run degraded,
+    // the other did not.
+    const bool pa = a.find("partial") != nullptr &&
+                    a.find("partial")->asBool();
+    const bool pb = b.find("partial") != nullptr &&
+                    b.find("partial")->asBool();
+    if (pa != pb) {
+        report(out, "partial",
+               std::string(pa ? "partial" : "complete") + " vs " +
+                   (pb ? "partial" : "complete"));
+    }
+    if (opts.include_metrics)
+        diffSection(a, b, "metrics", opts, out);
+    // timings are wall-clock and never comparable; skipped.
+    return out;
+}
+
+} // namespace smite::obs

@@ -1,0 +1,49 @@
+#include "obs/incident.h"
+
+namespace smite::obs {
+
+IncidentLog &
+IncidentLog::global()
+{
+    static IncidentLog log;
+    return log;
+}
+
+void
+IncidentLog::record(const std::string &what)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    if (entries_.size() < kMaxEntries)
+        entries_.push_back(what);
+}
+
+std::uint64_t
+IncidentLog::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+}
+
+std::vector<std::string>
+IncidentLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out = entries_;
+    if (total_ > entries_.size()) {
+        out.push_back("... and " +
+                      std::to_string(total_ - entries_.size()) +
+                      " more incidents");
+    }
+    return out;
+}
+
+void
+IncidentLog::clearForTesting()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    total_ = 0;
+}
+
+} // namespace smite::obs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Process-wide incident log: a bounded record of the failures a run
+ * survived.
+ *
+ * The resilient measurement pipeline (see docs/ROBUSTNESS.md) keeps
+ * going when individual measurements fail — retries exhaust, samples
+ * get dropped from a fit, prediction pairs get skipped. Each such
+ * degradation is *recorded here* at the point it is absorbed, and the
+ * bench reporter folds the log into the run report as a
+ * `"partial": true` section, so a run that silently lost data is
+ * distinguishable from a clean one.
+ *
+ * The log is capped: after kMaxEntries records further incidents are
+ * counted but not stored, and the snapshot ends with a summary line.
+ * A chaos run with thousands of injected faults must not balloon the
+ * report.
+ */
+
+#ifndef SMITE_OBS_INCIDENT_H
+#define SMITE_OBS_INCIDENT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smite::obs {
+
+/** Thread-safe, bounded log of absorbed failures. */
+class IncidentLog
+{
+  public:
+    /** Stored-entry cap; later incidents are counted, not stored. */
+    static constexpr std::size_t kMaxEntries = 256;
+
+    /** The process-wide log. */
+    static IncidentLog &global();
+
+    /** Record one absorbed failure (e.g. "dropped sample a|b"). */
+    void record(const std::string &what);
+
+    /** Total incidents recorded, including unstored ones. */
+    std::uint64_t count() const;
+
+    /**
+     * The stored entries, plus a trailing "... and N more incidents"
+     * line when the cap was hit.
+     */
+    std::vector<std::string> snapshot() const;
+
+    /** Drop everything (tests and fresh harness runs). */
+    void clearForTesting();
+
+  private:
+    IncidentLog() = default;
+
+    mutable std::mutex mu_;
+    std::vector<std::string> entries_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace smite::obs
+
+#endif // SMITE_OBS_INCIDENT_H

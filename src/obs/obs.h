@@ -11,12 +11,17 @@
  *  - trace.h — scoped Spans emitting Chrome trace_event JSON
  *    (collection gated by SMITE_TRACE; open in Perfetto);
  *  - report.h — structured per-run JSON reports
- *    (`smite-run-report/1`) embedding a metrics snapshot.
+ *    (`smite-run-report/1`) embedding a metrics snapshot;
+ *  - incident.h — bounded log of absorbed failures, folded into the
+ *    report as the `partial`/`incidents` section;
+ *  - diff.h — structural report comparison (tools/report_diff).
  */
 
 #ifndef SMITE_OBS_OBS_H
 #define SMITE_OBS_OBS_H
 
+#include "obs/diff.h"
+#include "obs/incident.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"

@@ -16,6 +16,13 @@ RunReport::toJson() const
     doc.set("config", config_);
     doc.set("timings", timings_);
     doc.set("results", results_);
+    if (partial_) {
+        doc.set("partial", json::Value(true));
+        json::Value incidents = json::Value::array();
+        for (const std::string &what : incidents_)
+            incidents.push(json::Value(what));
+        doc.set("incidents", std::move(incidents));
+    }
     doc.set("metrics", Registry::global().toJson());
     return doc;
 }

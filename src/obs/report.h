@@ -18,10 +18,16 @@
  *   "config":  { "machine": "Ivy Bridge", "threads": 8, ... },
  *   "timings": { "total_s": 12.34, ... },
  *   "results": { "smite_avg_error": 0.064, ... },
+ *   "partial":   true,                        // only when degraded
+ *   "incidents": ["dropped sample ...", ...], // only when degraded
  *   "metrics": { "counters": {...}, "gauges": {...},
  *                "histograms": {...} }
  * }
  * @endcode
+ *
+ * The `partial` / `incidents` pair appears only on runs that absorbed
+ * failures (see obs/incident.h): consumers can treat their absence as
+ * "every measurement completed".
  *
  * Emission is the caller's decision; the bench reporter writes the
  * file only when SMITE_METRICS or SMITE_TRACE is set, so default runs
@@ -32,6 +38,8 @@
 #define SMITE_OBS_REPORT_H
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/json.h"
 
@@ -69,6 +77,20 @@ class RunReport
     }
 
     /**
+     * Flag this run as degraded: some measurements failed and the
+     * results were assembled without them. @p incidents lists what
+     * was lost (typically IncidentLog::global().snapshot()).
+     */
+    void markPartial(std::vector<std::string> incidents)
+    {
+        partial_ = true;
+        incidents_ = std::move(incidents);
+    }
+
+    /** True once markPartial() has been called. */
+    bool partial() const { return partial_; }
+
+    /**
      * The complete document, including a point-in-time snapshot of
      * the global metrics Registry.
      */
@@ -85,6 +107,8 @@ class RunReport
     json::Value config_ = json::Value::object();
     json::Value timings_ = json::Value::object();
     json::Value results_ = json::Value::object();
+    bool partial_ = false;
+    std::vector<std::string> incidents_;
 };
 
 } // namespace smite::obs

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workload/rng.h"
@@ -94,21 +96,105 @@ Cluster::finish(const std::string &name, double qos_target,
     return result;
 }
 
+int
+Cluster::predictedInstancesFor(std::size_t s, double target) const
+{
+    const Pairing &pairing = pairings_[assignment_[s].pairing];
+    for (int k = maxInstances_; k >= 1; --k) {
+        if (pairing.byInstances[k - 1].predictedQos >= target)
+            return k;
+    }
+    return 0;
+}
+
 PolicyResult
 Cluster::runPredictedPolicy(double qos_target,
                             const std::string &name) const
 {
     obs::Span span("scheduler.policy", name);
     std::vector<int> instances(assignment_.size(), 0);
-    for (size_t s = 0; s < assignment_.size(); ++s) {
-        const Pairing &pairing = pairings_[assignment_[s].pairing];
-        for (int k = maxInstances_; k >= 1; --k) {
-            if (pairing.byInstances[k - 1].predictedQos >= qos_target) {
-                instances[s] = k;
-                break;
+    for (size_t s = 0; s < assignment_.size(); ++s)
+        instances[s] = predictedInstancesFor(s, qos_target);
+    return finish(name, qos_target, instances);
+}
+
+PolicyResult
+Cluster::runPredictedPolicyWithFailures(double qos_target, int epochs,
+                                        const std::string &name) const
+{
+    obs::Span span("scheduler.policy", name + "+failures");
+    if (epochs < 1)
+        throw std::invalid_argument("epochs must be positive");
+
+    obs::Registry &registry = obs::Registry::global();
+    obs::Counter &failures =
+        registry.counter("scheduler.server_failures");
+    obs::Counter &evictions = registry.counter("scheduler.evictions");
+    obs::Counter &replacements =
+        registry.counter("scheduler.replacements");
+    obs::Counter &lost = registry.counter("scheduler.lost_instances");
+    obs::Counter &recoveries = registry.counter("scheduler.recoveries");
+
+    fault::FaultPlan &faults = fault::FaultPlan::global();
+
+    // Initial placement: the plain predicted policy.
+    std::vector<int> instances(assignment_.size(), 0);
+    for (size_t s = 0; s < assignment_.size(); ++s)
+        instances[s] = predictedInstancesFor(s, qos_target);
+
+    std::vector<bool> down(assignment_.size(), false);
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        // Recovered servers rejoin and the policy refills them.
+        for (size_t s = 0; s < assignment_.size(); ++s) {
+            if (!down[s])
+                continue;
+            down[s] = false;
+            instances[s] = predictedInstancesFor(s, qos_target);
+            recoveries.add();
+        }
+
+        // Failures this epoch: keyed per (epoch, server), so the
+        // outcome is a pure function of the armed seed.
+        std::vector<int> evicted_batches;
+        for (size_t s = 0; s < assignment_.size(); ++s) {
+            const std::string key = "epoch" + std::to_string(epoch) +
+                                    "#server" + std::to_string(s);
+            if (!faults.enabled() ||
+                !faults.shouldInject("server.fail", key)) {
+                continue;
+            }
+            down[s] = true;
+            failures.add();
+            if (instances[s] > 0) {
+                evictions.add(static_cast<std::uint64_t>(instances[s]));
+                evicted_batches.push_back(instances[s]);
+            }
+            instances[s] = 0;
+        }
+
+        // Re-place evicted instances onto surviving servers that the
+        // model still predicts can absorb one more, scanning round
+        // robin from the front (deterministic). Anything that fits
+        // nowhere is lost capacity.
+        for (const int batch : evicted_batches) {
+            for (int inst = 0; inst < batch; ++inst) {
+                bool placed = false;
+                for (size_t s = 0; s < assignment_.size(); ++s) {
+                    if (down[s] || instances[s] >= maxInstances_)
+                        continue;
+                    ++instances[s];
+                    replacements.add();
+                    placed = true;
+                    break;
+                }
+                if (!placed)
+                    lost.add();
             }
         }
     }
+
+    // Downed servers host nothing in the final accounting; crowding
+    // on the survivors surfaces as QoS violations in finish().
     return finish(name, qos_target, instances);
 }
 

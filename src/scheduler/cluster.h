@@ -138,6 +138,24 @@ class Cluster
     PolicyResult runOraclePolicy(double qos_target) const;
 
     /**
+     * The predicted policy under server failures: run @p epochs
+     * decision epochs; in each, servers marked down by the
+     * `server.fail` fault site (src/fault) evict their batch
+     * instances, which the scheduler re-places onto surviving
+     * servers with spare contexts (instances beyond cluster capacity
+     * are lost); downed servers recover at the start of the next
+     * epoch and are re-filled by the policy. Placement drift is
+     * tracked via the `scheduler.server_failures` / `.evictions` /
+     * `.replacements` / `.lost_instances` / `.recoveries` counters,
+     * and the result reflects the final epoch's placement — QoS
+     * violations caused by failure-driven crowding included. With no
+     * faults armed this is runPredictedPolicy(), byte-identical.
+     */
+    PolicyResult
+    runPredictedPolicyWithFailures(double qos_target, int epochs,
+                                   const std::string &name = "SMiTe") const;
+
+    /**
      * Random interference-oblivious policy: co-locates random
      * instance counts scaled to achieve the same total utilization
      * gain as @p match_instances total instances.
@@ -171,6 +189,9 @@ class Cluster
 
     PolicyResult finish(const std::string &name, double qos_target,
                         const std::vector<int> &instances) const;
+
+    /** Largest k meeting @p target by prediction on server @p s. */
+    int predictedInstancesFor(std::size_t s, double target) const;
 
     std::vector<Pairing> pairings_;
     std::vector<std::string> latencyApps_;

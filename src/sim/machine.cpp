@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -181,6 +182,24 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
     std::vector<CounterBlock> results(placements.size());
     for (size_t i = 0; i < placements.size(); ++i)
         results[i] = counters_of(i) - at_warmup[i];
+
+    // `machine.jitter` fault site: real PMUs never report the same
+    // instruction count twice; perturb the retired-uop counts with
+    // seeded Gaussian noise so the Lab's multi-trial aggregation has
+    // something to reject. Sequence-seeded, so repeated trials of the
+    // same placement see different draws. Idle plan: untouched.
+    fault::FaultPlan &faults = fault::FaultPlan::global();
+    if (faults.enabled() && faults.armed("machine.jitter")) {
+        for (CounterBlock &block : results) {
+            if (!faults.shouldInject("machine.jitter"))
+                continue;
+            const double eps =
+                std::max(-0.99, faults.gaussianNext("machine.jitter"));
+            block.uops = static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(block.uops) *
+                             (1.0 + eps)));
+        }
+    }
 
     static obs::Counter &runs =
         obs::Registry::global().counter("machine.runs");

@@ -48,6 +48,41 @@ quantile(std::vector<double> xs, double p)
     return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+double
+median(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("median of empty sample");
+    return quantile(xs, 0.5);
+}
+
+double
+robustMedian(const std::vector<double> &xs, double k)
+{
+    if (xs.empty())
+        throw std::invalid_argument("robustMedian of empty sample");
+    if (k <= 0.0)
+        throw std::invalid_argument("robustMedian k must be positive");
+    const double m = median(xs);
+    std::vector<double> deviations;
+    deviations.reserve(xs.size());
+    for (double x : xs)
+        deviations.push_back(std::abs(x - m));
+    const double mad = median(deviations);
+    if (mad == 0.0)
+        return m;
+    const double cutoff = k * 1.4826 * mad;
+    std::vector<double> kept;
+    kept.reserve(xs.size());
+    for (double x : xs) {
+        if (std::abs(x - m) <= cutoff)
+            kept.push_back(x);
+    }
+    // The median itself always survives its own cutoff, so kept is
+    // never empty.
+    return median(kept);
+}
+
 std::vector<std::pair<double, double>>
 empiricalCdf(std::vector<double> xs, int points)
 {

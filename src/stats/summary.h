@@ -27,6 +27,22 @@ double maxOf(const std::vector<double> &xs);
  */
 double quantile(std::vector<double> xs, double p);
 
+/** Median (0.5 quantile). @throws std::invalid_argument if empty. */
+double median(const std::vector<double> &xs);
+
+/**
+ * Outlier-robust location estimate for repeated measurements of one
+ * quantity: the median of the samples that survive MAD rejection.
+ * A sample is an outlier when |x - median| > k * 1.4826 * MAD, with
+ * MAD the median absolute deviation and 1.4826 the factor that makes
+ * it consistent with a Gaussian sigma. When MAD is zero (a majority
+ * of identical samples, e.g. jitter-free measurements), the plain
+ * median is returned unchanged.
+ *
+ * @throws std::invalid_argument if empty or k <= 0
+ */
+double robustMedian(const std::vector<double> &xs, double k = 3.5);
+
 /**
  * Sample the empirical CDF of @p xs at evenly spaced points.
  *

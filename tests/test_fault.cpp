@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Tests for deterministic fault injection and the resilient
+ * measurement pipeline built on top of it: SMITE_FAULTS grammar,
+ * keyed/sequence decision determinism, Lab retry and multi-trial
+ * policies, graceful degradation of the training harness, scheduler
+ * behaviour under server failures, and — critically — that a
+ * fault-free run after a chaos run reproduces the baseline exactly.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "fault/fault.h"
+#include "obs/incident.h"
+#include "obs/metrics.h"
+#include "scheduler/cluster.h"
+#include "workload/spec2006.h"
+
+namespace smite {
+namespace {
+
+using core::Characterization;
+using core::CoLocationMode;
+using core::Lab;
+using core::SmiteModel;
+using fault::FaultPlan;
+using fault::MeasurementError;
+using fault::SiteSpec;
+
+/**
+ * Every fault test starts and ends with a clean slate: no armed
+ * sites, empty incident log, zeroed metrics. Without this, one test's
+ * chaos leaks into the next's determinism assertions.
+ */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetGlobals(); }
+    void TearDown() override { resetGlobals(); }
+
+    static void resetGlobals()
+    {
+        FaultPlan::global().reset();
+        obs::IncidentLog::global().clearForTesting();
+        obs::Registry::global().resetForTesting();
+    }
+
+    static std::vector<workload::WorkloadProfile> trainingSet()
+    {
+        return {workload::spec2006::byName("401.bzip2"),
+                workload::spec2006::byName("429.mcf"),
+                workload::spec2006::byName("453.povray"),
+                workload::spec2006::byName("433.milc"),
+                workload::spec2006::byName("470.lbm"),
+                workload::spec2006::byName("456.hmmer")};
+    }
+
+    static std::unique_ptr<Lab> makeLab()
+    {
+        auto lab = std::make_unique<Lab>(sim::MachineConfig::ivyBridge(),
+                                         2'000, 8'000);
+        // Serial so that sequence-based (nth) decisions are
+        // reproducible across runs.
+        lab->setParallelism(1);
+        return lab;
+    }
+
+    static std::uint64_t counter(const std::string &name)
+    {
+        return obs::Registry::global().counter(name).value();
+    }
+};
+
+TEST_F(FaultTest, SpecStringArmsSites)
+{
+    FaultPlan &plan = FaultPlan::global();
+    EXPECT_FALSE(plan.enabled());
+    const int armed = plan.configure(
+        "machine.jitter:p=0.5,sigma=0.1,seed=7;"
+        "lab.measure:nth=3;pool.delay:p=0.01,us=250");
+    EXPECT_EQ(armed, 3);
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_TRUE(plan.armed("machine.jitter"));
+    EXPECT_TRUE(plan.armed("lab.measure"));
+    EXPECT_TRUE(plan.armed("pool.delay"));
+    EXPECT_FALSE(plan.armed("disk.corrupt"));
+
+    const SiteSpec jitter = plan.spec("machine.jitter");
+    EXPECT_DOUBLE_EQ(jitter.probability, 0.5);
+    EXPECT_DOUBLE_EQ(jitter.sigma, 0.1);
+    EXPECT_EQ(jitter.seed, 7u);
+    EXPECT_EQ(plan.spec("lab.measure").nth, 3u);
+    EXPECT_DOUBLE_EQ(plan.spec("pool.delay").micros, 250.0);
+
+    plan.reset();
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_FALSE(plan.armed("machine.jitter"));
+}
+
+TEST_F(FaultTest, MalformedClausesAreSkippedNotFatal)
+{
+    FaultPlan &plan = FaultPlan::global();
+    // Bad probability, unknown key, and an empty clause: each is
+    // skipped with a warning; the valid clause still arms.
+    const int armed = plan.configure(
+        "lab.measure:p=banana;;bogus:q=1;server.fail:p=0.25");
+    EXPECT_EQ(armed, 1);
+    EXPECT_TRUE(plan.armed("server.fail"));
+    EXPECT_FALSE(plan.armed("lab.measure"));
+}
+
+TEST_F(FaultTest, KeyedDecisionsAreDeterministicAndRateAccurate)
+{
+    FaultPlan &plan = FaultPlan::global();
+    plan.arm("lab.measure", SiteSpec{.probability = 0.3, .seed = 99});
+
+    int fired = 0;
+    std::vector<bool> first;
+    for (int i = 0; i < 2000; ++i) {
+        const bool f =
+            plan.shouldInject("lab.measure", "key" + std::to_string(i));
+        first.push_back(f);
+        fired += f ? 1 : 0;
+    }
+    // Same keys, any order → same outcomes.
+    for (int i = 1999; i >= 0; --i) {
+        EXPECT_EQ(plan.shouldInject("lab.measure",
+                                    "key" + std::to_string(i)),
+                  first[static_cast<std::size_t>(i)]);
+    }
+    // Law of large numbers: the empirical rate is near p.
+    EXPECT_NEAR(fired / 2000.0, 0.3, 0.05);
+    EXPECT_EQ(counter("fault.lab.measure.checks"), 4000u);
+    EXPECT_EQ(counter("fault.lab.measure.injected"),
+              static_cast<std::uint64_t>(2 * fired));
+}
+
+TEST_F(FaultTest, NthRuleFiresOnEveryNthCheck)
+{
+    FaultPlan &plan = FaultPlan::global();
+    plan.arm("pool.delay", SiteSpec{.nth = 4});
+    int fired = 0;
+    for (int i = 1; i <= 12; ++i) {
+        const bool f = plan.shouldInject("pool.delay");
+        EXPECT_EQ(f, i % 4 == 0) << "check " << i;
+        fired += f ? 1 : 0;
+    }
+    EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FaultTest, GaussianDrawsMatchSigma)
+{
+    FaultPlan &plan = FaultPlan::global();
+    plan.arm("machine.jitter",
+             SiteSpec{.probability = 1.0, .seed = 13, .sigma = 0.05});
+    double sum = 0.0, sq = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const double eps =
+            plan.gaussian("machine.jitter", "k" + std::to_string(i));
+        sum += eps;
+        sq += eps * eps;
+    }
+    const double mean = sum / n;
+    const double stddev = std::sqrt(sq / n - mean * mean);
+    EXPECT_NEAR(mean, 0.0, 0.005);
+    EXPECT_NEAR(stddev, 0.05, 0.01);
+    // Keyed draws replay exactly.
+    EXPECT_EQ(plan.gaussian("machine.jitter", "k0"),
+              plan.gaussian("machine.jitter", "k0"));
+}
+
+TEST_F(FaultTest, LabRetriesTransientFaultsToTheBaselineValue)
+{
+    const auto &a = workload::spec2006::byName("453.povray");
+    const auto &b = workload::spec2006::byName("429.mcf");
+    double base_a = 0.0, base_b = 0.0;
+    {
+        const auto lab_holder = makeLab();
+        Lab &lab = *lab_holder;
+        base_a = lab.soloIpc(a);
+        base_b = lab.soloIpc(b);
+    }
+    resetGlobals();
+
+    // nth=2 fires every second check: solo(a) passes on check 1,
+    // solo(b) fails on check 2, its retry passes on check 3. The
+    // retried value is byte-identical to the fault-free baseline.
+    FaultPlan::global().arm("lab.measure", SiteSpec{.nth = 2});
+    const auto lab_holder = makeLab();
+    Lab &lab = *lab_holder;
+    EXPECT_EQ(lab.soloIpc(a), base_a);
+    EXPECT_EQ(lab.soloIpc(b), base_b);
+    EXPECT_EQ(counter("fault.lab.measure.injected"), 1u);
+    EXPECT_EQ(counter("lab.retries"), 1u);
+    EXPECT_EQ(counter("lab.failures"), 0u);
+}
+
+TEST_F(FaultTest, LabGivesUpAfterRetryBudgetAndRecordsIncident)
+{
+    // Probability 1: every attempt of every measurement fails.
+    FaultPlan::global().arm("lab.measure",
+                            SiteSpec{.probability = 1.0});
+    const auto lab_holder = makeLab();
+    Lab &lab = *lab_holder;
+    const auto &a = workload::spec2006::byName("429.mcf");
+    EXPECT_THROW(lab.soloIpc(a), MeasurementError);
+    EXPECT_GE(counter("lab.retries"), 2u);  // attempts 1 and 2 retried
+    EXPECT_EQ(counter("lab.failures"), 1u);
+    EXPECT_GE(obs::IncidentLog::global().count(), 1u);
+}
+
+TEST_F(FaultTest, MedianOfTrialsSuppressesJitter)
+{
+    const auto &a = workload::spec2006::byName("470.lbm");
+    double baseline = 0.0;
+    {
+        const auto lab_holder = makeLab();
+        Lab &lab = *lab_holder;
+        baseline = lab.soloIpc(a);
+    }
+    resetGlobals();
+
+    FaultPlan::global().arm(
+        "machine.jitter",
+        SiteSpec{.probability = 1.0, .seed = 3, .sigma = 0.2});
+    const auto lab_holder = makeLab();
+    Lab &lab = *lab_holder;
+    lab.setTrials(5);
+    const double noisy = lab.soloIpc(a);
+    EXPECT_TRUE(std::isfinite(noisy));
+    // The robust median of five jittered trials lands near the truth
+    // even with sigma = 0.2.
+    EXPECT_NEAR(noisy, baseline, 0.3 * baseline);
+    EXPECT_GE(counter("lab.trials"), 5u);
+
+    // Disarm → trials collapse back to the exact baseline.
+    resetGlobals();
+    const auto clean_holder = makeLab();
+    Lab &clean = *clean_holder;
+    clean.setTrials(5);
+    EXPECT_EQ(clean.soloIpc(a), baseline);
+}
+
+TEST_F(FaultTest, TrainSmiteSurvivesChaosAndReproducesCleanBaseline)
+{
+    const auto train = trainingSet();
+    const auto mode = CoLocationMode::kSmt;
+    const auto &victim = workload::spec2006::byName("401.bzip2");
+    const auto &aggressor = workload::spec2006::byName("429.mcf");
+
+    // Fault-free baseline.
+    std::vector<double> base_coeffs;
+    double base_pred = 0.0;
+    {
+        const auto lab_holder = makeLab();
+        Lab &lab = *lab_holder;
+        const SmiteModel model = lab.trainSmite(train, mode);
+        base_coeffs = model.coefficients();
+        base_pred = model.predict(lab.characterization(victim, mode),
+                                  lab.characterization(aggressor, mode));
+    }
+    resetGlobals();
+
+    // Chaos: with retries disabled every measurement fails with
+    // probability p. One lost characterization already voids ten of
+    // the thirty ordered samples, so p is kept low enough that the
+    // fit still has more samples than sharing dimensions — but high
+    // enough (given this seed) that some samples do drop.
+    FaultPlan::global().arm("lab.measure",
+                            SiteSpec{.probability = 0.07, .seed = 13});
+    {
+        const auto lab_holder = makeLab();
+        Lab &lab = *lab_holder;
+        lab.setMaxAttempts(1);  // no retries: faults become drops
+        const SmiteModel model = lab.trainSmite(train, mode);
+        // Training degraded but completed: finite coefficients.
+        for (const double c : model.coefficients())
+            EXPECT_TRUE(std::isfinite(c));
+        EXPECT_GT(counter("lab.dropped_samples"), 0u);
+        EXPECT_GT(obs::IncidentLog::global().count(), 0u);
+    }
+
+    // Determinism: disarm everything, rerun → byte-identical model.
+    resetGlobals();
+    {
+        const auto lab_holder = makeLab();
+        Lab &lab = *lab_holder;
+        const SmiteModel model = lab.trainSmite(train, mode);
+        EXPECT_EQ(model.coefficients(), base_coeffs);
+        EXPECT_EQ(model.predict(lab.characterization(victim, mode),
+                                lab.characterization(aggressor, mode)),
+                  base_pred);
+        EXPECT_EQ(counter("lab.dropped_samples"), 0u);
+        EXPECT_EQ(obs::IncidentLog::global().count(), 0u);
+    }
+}
+
+TEST_F(FaultTest, CharacterizeAllMarksFailedEntriesInvalid)
+{
+    FaultPlan::global().arm("lab.measure",
+                            SiteSpec{.probability = 0.6, .seed = 5});
+    const auto lab_holder = makeLab();
+    Lab &lab = *lab_holder;
+    lab.setMaxAttempts(1);
+    const auto profiles = trainingSet();
+    const std::vector<Characterization> chars =
+        lab.characterizeAll(profiles, CoLocationMode::kSmt);
+    ASSERT_EQ(chars.size(), profiles.size());
+    int invalid = 0;
+    for (const Characterization &c : chars)
+        invalid += c.valid ? 0 : 1;
+    // With p=0.6 and no retries at least one profile must have lost
+    // a measurement; and the batch call itself never threw.
+    EXPECT_GT(invalid, 0);
+    EXPECT_LT(invalid, static_cast<int>(profiles.size()) + 1);
+}
+
+TEST_F(FaultTest, MachineJitterPerturbsResultsOnlyWhileArmed)
+{
+    const auto &a = workload::spec2006::byName("433.milc");
+    double baseline = 0.0;
+    {
+        const auto lab_holder = makeLab();
+        Lab &lab = *lab_holder;
+        baseline = lab.soloIpc(a);
+    }
+    resetGlobals();
+
+    FaultPlan::global().arm(
+        "machine.jitter",
+        SiteSpec{.probability = 1.0, .seed = 11, .sigma = 0.1});
+    {
+        const auto lab_holder = makeLab();
+        Lab &lab = *lab_holder;
+        const double jittered = lab.soloIpc(a);
+        EXPECT_NE(jittered, baseline);
+        EXPECT_TRUE(std::isfinite(jittered));
+        EXPECT_GT(counter("fault.machine.jitter.injected"), 0u);
+    }
+
+    resetGlobals();
+    const auto clean_holder = makeLab();
+    Lab &clean = *clean_holder;
+    EXPECT_EQ(clean.soloIpc(a), baseline);
+}
+
+/** A pairing whose QoS falls linearly with instance count. */
+scheduler::Pairing
+linearPairing(double actual, double predicted)
+{
+    scheduler::Pairing p;
+    p.latencyApp = "svc";
+    p.batchApp = "batch";
+    for (int k = 1; k <= 6; ++k) {
+        scheduler::CoLocationOption option;
+        option.actualQos = 1.0 - actual * k;
+        option.predictedQos = 1.0 - predicted * k;
+        p.byInstances.push_back(option);
+    }
+    return p;
+}
+
+TEST_F(FaultTest, FailurePolicyWithoutFaultsMatchesPredictedPolicy)
+{
+    const scheduler::Cluster cluster({linearPairing(0.02, 0.02)},
+                                     {"svc"}, 60);
+    const auto plain = cluster.runPredictedPolicy(0.90);
+    const auto epochs = cluster.runPredictedPolicyWithFailures(0.90, 5);
+    EXPECT_EQ(epochs.totalInstances, plain.totalInstances);
+    EXPECT_EQ(epochs.coLocatedServers, plain.coLocatedServers);
+    EXPECT_EQ(epochs.violatedServers, plain.violatedServers);
+    EXPECT_EQ(counter("scheduler.server_failures"), 0u);
+    EXPECT_EQ(counter("scheduler.evictions"), 0u);
+}
+
+TEST_F(FaultTest, ServerFailuresEvictAndReplaceInstances)
+{
+    FaultPlan::global().arm("server.fail",
+                            SiteSpec{.probability = 0.2, .seed = 17});
+    // Predicted policy admits 5 per server at target 0.90 with 2%
+    // slope, so surviving servers have one spare slot each for
+    // re-placement (maxInstances = 6).
+    const scheduler::Cluster cluster({linearPairing(0.02, 0.02)},
+                                     {"svc"}, 60);
+    const auto result = cluster.runPredictedPolicyWithFailures(0.90, 4);
+    EXPECT_GT(counter("scheduler.server_failures"), 0u);
+    EXPECT_GT(counter("scheduler.evictions"), 0u);
+    EXPECT_GT(counter("scheduler.replacements"), 0u);
+    EXPECT_GT(counter("scheduler.recoveries"), 0u);
+    // The final placement is still a valid cluster state.
+    EXPECT_LE(result.totalInstances,
+              static_cast<double>(cluster.servers()) *
+                  cluster.maxInstances());
+    EXPECT_GE(result.totalInstances, 0.0);
+    EXPECT_THROW(cluster.runPredictedPolicyWithFailures(0.90, 0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace smite

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -21,10 +23,40 @@ tempCache(const char *name)
     return (std::filesystem::temp_directory_path() / name).string();
 }
 
+/** Remove the legacy file and every shard of a cache base path. */
+void
+removeCache(const std::string &base)
+{
+    std::remove(base.c_str());
+    // More shards than any test configures, so leftovers never leak
+    // between runs.
+    for (int k = 0; k < 64; ++k)
+        std::remove(ShardedDiskCache::shardPath(base, k).c_str());
+}
+
+/** Concatenated record lines (header excluded) across all files. */
+std::vector<std::string>
+allRecords(const std::string &base)
+{
+    std::vector<std::string> records;
+    std::vector<std::string> paths{base};
+    for (int k = 0; k < 64; ++k)
+        paths.push_back(ShardedDiskCache::shardPath(base, k));
+    for (const std::string &path : paths) {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line != kLabCacheHeader && !line.empty())
+                records.push_back(line);
+        }
+    }
+    return records;
+}
+
 TEST(LabCache, RoundTripsMeasurements)
 {
     const std::string path = tempCache("smite_lab_cache_test.txt");
-    std::remove(path.c_str());
+    removeCache(path);
 
     const auto &a = workload::spec2006::byName("453.povray");
     const auto &b = workload::spec2006::byName("433.milc");
@@ -55,13 +87,13 @@ TEST(LabCache, RoundTripsMeasurements)
         EXPECT_EQ(chr2.sensitivity[d], chr.sensitivity[d]);
         EXPECT_EQ(chr2.contentiousness[d], chr.contentiousness[d]);
     }
-    std::remove(path.c_str());
+    removeCache(path);
 }
 
 TEST(LabCache, PairCacheStoresBothDirections)
 {
     const std::string path = tempCache("smite_lab_cache_dir.txt");
-    std::remove(path.c_str());
+    removeCache(path);
     const auto &a = workload::spec2006::byName("453.povray");
     const auto &b = workload::spec2006::byName("433.milc");
     double forward = 0, backward = 0;
@@ -77,7 +109,7 @@ TEST(LabCache, PairCacheStoresBothDirections)
               backward);
     EXPECT_EQ(reloaded.pairDegradation(a, b, CoLocationMode::kSmt),
               forward);
-    std::remove(path.c_str());
+    removeCache(path);
 }
 
 TEST(LabCache, IgnoresCorruptLines)
@@ -101,10 +133,104 @@ TEST(LabCache, IgnoresCorruptLines)
 TEST(LabCache, DisabledCacheWritesNothing)
 {
     const std::string path = tempCache("smite_lab_cache_none.txt");
-    std::remove(path.c_str());
+    removeCache(path);
     Lab lab(sim::MachineConfig::ivyBridge(), 2000, 5000);
     lab.soloIpc(workload::spec2006::byName("453.povray"));
     EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(
+        ShardedDiskCache::shardPath(path, 0)));
+}
+
+TEST(LabCache, ShardsRecordsByKeyWithHeaders)
+{
+    const std::string path = tempCache("smite_lab_cache_shard.txt");
+    removeCache(path);
+
+    ShardedDiskCache cache;
+    cache.open(path, 4);
+    EXPECT_TRUE(cache.enabled());
+    EXPECT_EQ(cache.shardCount(), 4);
+
+    // Enough distinct keys to hit more than one shard.
+    for (int i = 0; i < 32; ++i) {
+        const std::string key = "key" + std::to_string(i);
+        cache.append(key, "solo " + key + " 1.5");
+    }
+
+    // The legacy base file is never written; only shards are.
+    EXPECT_FALSE(std::filesystem::exists(path));
+    int shard_files = 0;
+    for (int k = 0; k < 4; ++k) {
+        const std::string shard = ShardedDiskCache::shardPath(path, k);
+        if (!std::filesystem::exists(shard))
+            continue;
+        ++shard_files;
+        // Every written shard starts with the version header.
+        std::ifstream in(shard);
+        std::string first;
+        ASSERT_TRUE(static_cast<bool>(std::getline(in, first)));
+        EXPECT_EQ(first, kLabCacheHeader);
+    }
+    EXPECT_GT(shard_files, 1);
+    EXPECT_EQ(allRecords(path).size(), 32u);
+
+    // A fresh instance over the same base sees every file.
+    ShardedDiskCache reader;
+    reader.open(path, 4);
+    EXPECT_EQ(reader.readPaths().size(),
+              static_cast<std::size_t>(shard_files));
+    removeCache(path);
+}
+
+TEST(LabCache, LegacySingleFileStillPreloaded)
+{
+    const std::string path = tempCache("smite_lab_cache_legacy.txt");
+    removeCache(path);
+    {
+        // A cache written by an older (unsharded) build: all records
+        // in the base file itself.
+        std::ofstream out(path);
+        out << kLabCacheHeader << "\n";
+        out << "solo 453.povray#1 0.625\n";
+    }
+    Lab lab(sim::MachineConfig::ivyBridge(), 5000, 20000);
+    lab.enableDiskCache(path);
+    EXPECT_EQ(lab.soloIpc(workload::spec2006::byName("453.povray")),
+              0.625);
+    removeCache(path);
+}
+
+TEST(LabCache, RecoversFromTruncatedShardLine)
+{
+    const std::string path = tempCache("smite_lab_cache_torn.txt");
+    removeCache(path);
+
+    const auto &a = workload::spec2006::byName("453.povray");
+    double solo = 0;
+    {
+        Lab lab(sim::MachineConfig::ivyBridge(), 5000, 20000);
+        lab.enableDiskCache(path);
+        solo = lab.soloIpc(a);
+        lab.pairDegradation(a, workload::spec2006::byName("433.milc"),
+                            CoLocationMode::kSmt);
+    }
+
+    // Simulate a crash mid-append: every shard gains a torn record —
+    // cut off mid-key, no trailing newline.
+    for (int k = 0; k < 8; ++k) {
+        const std::string shard = ShardedDiskCache::shardPath(path, k);
+        if (!std::filesystem::exists(shard))
+            continue;
+        std::ofstream out(shard, std::ios::app);
+        out << "pair 453.pov";
+    }
+
+    // The reader skips the torn lines and the Lab still works —
+    // re-simulating whatever was lost.
+    Lab reloaded(sim::MachineConfig::ivyBridge(), 5000, 20000);
+    reloaded.enableDiskCache(path);
+    EXPECT_EQ(reloaded.soloIpc(a), solo);
+    removeCache(path);
 }
 
 } // namespace

@@ -323,3 +323,109 @@ TEST_F(ObsTest, MetricsEnabledHonoursTestOverride)
     obs::setMetricsEnabledForTesting(false);
     EXPECT_FALSE(obs::metricsEnabled());
 }
+
+namespace {
+
+/** Parse a JSON literal that is known to be valid. */
+json::Value
+mustParse(const std::string &text)
+{
+    json::Value v;
+    std::string error;
+    EXPECT_TRUE(json::Value::parse(text, &v, &error)) << error;
+    return v;
+}
+
+} // namespace
+
+TEST_F(ObsTest, DiffReportsEquivalentDocumentsIsEmpty)
+{
+    const json::Value a = mustParse(
+        R"({"name":"fig10","results":{"rmse":0.031,"pairs":[1,2,3]},)"
+        R"("timings":{"wall_s":12.0}})");
+    const json::Value b = mustParse(
+        R"({"name":"fig10","results":{"rmse":0.031,"pairs":[1,2,3]},)"
+        R"("timings":{"wall_s":99.0}})");
+    // Identical results; timings differ but are never compared.
+    EXPECT_TRUE(obs::diffReports(a, b).empty());
+}
+
+TEST_F(ObsTest, DiffReportsFlagsNumericDriftBeyondTolerance)
+{
+    const json::Value a =
+        mustParse(R"({"name":"x","results":{"rmse":0.031}})");
+    const json::Value b =
+        mustParse(R"({"name":"x","results":{"rmse":0.032}})");
+    const auto diffs = obs::diffReports(a, b);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].path, "results.rmse");
+
+    // A loose tolerance accepts the same drift.
+    obs::ReportDiffOptions loose;
+    loose.tolerance = 0.1;
+    EXPECT_TRUE(obs::diffReports(a, b, loose).empty());
+}
+
+TEST_F(ObsTest, DiffReportsFlagsMissingKeysAndTypeChanges)
+{
+    const json::Value a = mustParse(
+        R"({"name":"x","results":{"rmse":0.03,"extra":1}})");
+    const json::Value b = mustParse(
+        R"({"name":"x","results":{"rmse":"0.03"}})");
+    const auto diffs = obs::diffReports(a, b);
+    ASSERT_EQ(diffs.size(), 2u);
+    EXPECT_EQ(diffs[0].path, "results.rmse");
+    EXPECT_EQ(diffs[0].detail, "number vs string");
+    EXPECT_EQ(diffs[1].path, "results.extra");
+    EXPECT_EQ(diffs[1].detail, "present vs missing");
+}
+
+TEST_F(ObsTest, DiffReportsFlagsPartialVersusComplete)
+{
+    const json::Value a = mustParse(
+        R"({"name":"x","results":{},"partial":true,)"
+        R"("incidents":["solo 429.mcf failed"]})");
+    const json::Value b = mustParse(R"({"name":"x","results":{}})");
+    const auto diffs = obs::diffReports(a, b);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].path, "partial");
+    EXPECT_EQ(diffs[0].detail, "partial vs complete");
+    // Metrics only compared on request.
+    EXPECT_TRUE(obs::diffReports(a, a).empty());
+}
+
+TEST_F(ObsTest, PartialReportEmitsIncidents)
+{
+    obs::RunReport report("chaos");
+    report.addResult("rmse", json::Value(0.5));
+    report.markPartial({"solo 429.mcf#1 failed after 3 attempts"});
+    EXPECT_TRUE(report.partial());
+    const json::Value doc = report.toJson();
+    ASSERT_NE(doc.find("partial"), nullptr);
+    EXPECT_TRUE(doc.find("partial")->asBool());
+    ASSERT_NE(doc.find("incidents"), nullptr);
+    ASSERT_EQ(doc.find("incidents")->items().size(), 1u);
+
+    // A clean report carries neither field.
+    obs::RunReport clean("ok");
+    const json::Value clean_doc = clean.toJson();
+    EXPECT_EQ(clean_doc.find("partial"), nullptr);
+    EXPECT_EQ(clean_doc.find("incidents"), nullptr);
+}
+
+TEST_F(ObsTest, IncidentLogCapsStoredEntries)
+{
+    obs::IncidentLog &log = obs::IncidentLog::global();
+    log.clearForTesting();
+    for (int i = 0; i < 300; ++i)
+        log.record("incident " + std::to_string(i));
+    EXPECT_EQ(log.count(), 300u);
+    const std::vector<std::string> snap = log.snapshot();
+    // kMaxEntries stored lines plus one "... and N more" summary.
+    ASSERT_EQ(snap.size(),
+              static_cast<std::size_t>(obs::IncidentLog::kMaxEntries) + 1);
+    EXPECT_NE(snap.back().find("44 more"), std::string::npos);
+    log.clearForTesting();
+    EXPECT_EQ(log.count(), 0u);
+    EXPECT_TRUE(log.snapshot().empty());
+}

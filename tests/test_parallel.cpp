@@ -165,6 +165,66 @@ TEST(MemoCache, SingleFlightUnderContention)
         EXPECT_EQ(r, 1234);
 }
 
+TEST(MemoCache, FailedComputeDoesNotPoisonKey)
+{
+    MemoCache<int, int> cache;
+    int calls = 0;
+    // First flight throws: the exception reaches the caller and the
+    // key must NOT be cached as a permanent failure.
+    EXPECT_THROW(cache.getOrCompute(7,
+                                    [&]() -> int {
+                                        ++calls;
+                                        throw std::runtime_error(
+                                            "transient");
+                                    }),
+                 std::runtime_error);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.peek(7), nullptr);
+    // A retry recomputes and succeeds.
+    const int value = cache.getOrCompute(7, [&] {
+        ++calls;
+        return 99;
+    });
+    EXPECT_EQ(value, 99);
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(cache.computeCount(), 2u);
+    ASSERT_NE(cache.peek(7), nullptr);
+    EXPECT_EQ(*cache.peek(7), 99);
+}
+
+TEST(MemoCache, WaitersObserveFlightExceptionAndKeyStaysRetryable)
+{
+    MemoCache<int, int> cache;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            try {
+                cache.getOrCompute(1, [&]() -> int {
+                    // Let the other threads join the flight as
+                    // waiters before it fails.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                    throw std::runtime_error("flight failed");
+                });
+            } catch (const std::runtime_error &) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    // Every thread — the computing one and all waiters on the same
+    // flight — sees the failure. Some threads may have started fresh
+    // flights after the first was erased, so at least one compute ran
+    // and every thread failed.
+    EXPECT_EQ(failures.load(), 8);
+    EXPECT_GE(cache.computeCount(), 1u);
+    EXPECT_EQ(cache.size(), 0u);
+    // The key recovers on the next call.
+    EXPECT_EQ(cache.getOrCompute(1, [] { return 5; }), 5);
+}
+
 TEST(Lab, CharacterizeAllMatchesSerialExactly)
 {
     const auto profiles = smallSet();

@@ -4,6 +4,8 @@
  */
 
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -164,6 +166,34 @@ TEST(Summary, EmpiricalCdfIsMonotone)
     }
     EXPECT_NEAR(cdf.front().second, 0.0, 1e-12);
     EXPECT_NEAR(cdf.back().second, 1.0, 1e-12);
+}
+
+TEST(Summary, MedianOfOddAndEvenCounts)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7.5}), 7.5);
+    EXPECT_THROW(median({}), std::invalid_argument);
+}
+
+TEST(Summary, RobustMedianRejectsOutliers)
+{
+    // Five honest trials plus one wild outlier: the plain median
+    // already shrugs it off, and the robust median must too.
+    const std::vector<double> xs{1.00, 1.02, 0.98, 1.01, 0.99, 50.0};
+    EXPECT_NEAR(robustMedian(xs), 1.0, 0.02);
+    // All-identical samples: MAD is zero, the median comes back.
+    EXPECT_DOUBLE_EQ(robustMedian({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(robustMedian({5.0}), 5.0);
+    EXPECT_THROW(robustMedian({}), std::invalid_argument);
+    EXPECT_THROW(robustMedian({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Summary, RobustMedianKeepsCleanSamplesIntact)
+{
+    // Without outliers the robust median equals the plain median.
+    const std::vector<double> xs{0.8, 1.2, 1.0, 0.9, 1.1};
+    EXPECT_DOUBLE_EQ(robustMedian(xs), median(xs));
 }
 
 } // namespace

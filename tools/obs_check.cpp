@@ -10,11 +10,13 @@
  *       complete ("ph":"X") events, each with a name, pid/tid and
  *       numeric ts/dur. Prints the distinct span names, one per line.
  *
- *   obs_check report <file>.report.json
+ *   obs_check report <file>.report.json [--nonzero name...]
  *       Run report: requires the smite-run-report/1 schema stamp, the
  *       run name, and the config/timings/results/metrics sections with
  *       well-formed histogram summaries. Prints every metric name, one
- *       per line.
+ *       per line. Each name after --nonzero must additionally exist in
+ *       the snapshot with a nonzero value (histograms: count > 0) —
+ *       the chaos smoke test uses this to prove faults actually fired.
  *
  * The printed names feed the tier-1 smoke test, which greps each one
  * against the catalog in docs/OBSERVABILITY.md.
@@ -25,6 +27,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/report.h"
@@ -107,8 +110,30 @@ requireObject(const Value &doc, const char *key, bool *ok)
     return section;
 }
 
+/**
+ * Value of metric @p name in the snapshot, searching all three kinds;
+ * histograms report their sample count. Absent metrics are 0.
+ */
+double
+metricValue(const Value &metrics, const std::string &name)
+{
+    for (const char *kind : {"counters", "gauges"}) {
+        if (const Value *section = metrics.find(kind)) {
+            if (const Value *v = section->find(name))
+                return v->asNumber();
+        }
+    }
+    if (const Value *section = metrics.find("histograms")) {
+        if (const Value *v = section->find(name)) {
+            if (const Value *count = v->find("count"))
+                return count->asNumber();
+        }
+    }
+    return 0.0;
+}
+
 bool
-checkReport(const char *path)
+checkReport(const char *path, const std::vector<std::string> &nonzero)
 {
     Value doc;
     if (!loadJson(path, &doc))
@@ -169,6 +194,13 @@ checkReport(const char *path)
     }
     for (const std::string &metric : metric_names)
         std::printf("%s\n", metric.c_str());
+
+    for (const std::string &want : nonzero) {
+        if (metric_names.find(want) == metric_names.end())
+            return fail("required metric missing: " + want);
+        if (metricValue(*metrics, want) == 0.0)
+            return fail("required metric is zero: " + want);
+    }
     return true;
 }
 
@@ -177,16 +209,35 @@ checkReport(const char *path)
 int
 main(int argc, char **argv)
 {
-    if (argc != 3) {
+    if (argc < 3) {
         std::fprintf(stderr,
-                     "usage: obs_check trace|report <file.json>\n");
+                     "usage: obs_check trace <file.json> |\n"
+                     "       obs_check report <file.json> "
+                     "[--nonzero name...]\n");
         return 2;
     }
     const std::string mode = argv[1];
-    if (mode == "trace")
+    if (mode == "trace") {
+        if (argc != 3) {
+            std::fprintf(stderr,
+                         "usage: obs_check trace <file.json>\n");
+            return 2;
+        }
         return checkTrace(argv[2]) ? 0 : 1;
-    if (mode == "report")
-        return checkReport(argv[2]) ? 0 : 1;
+    }
+    if (mode == "report") {
+        std::vector<std::string> nonzero;
+        if (argc > 3) {
+            if (std::string(argv[3]) != "--nonzero") {
+                std::fprintf(stderr,
+                             "obs_check: unknown option %s\n", argv[3]);
+                return 2;
+            }
+            for (int i = 4; i < argc; ++i)
+                nonzero.emplace_back(argv[i]);
+        }
+        return checkReport(argv[2], nonzero) ? 0 : 1;
+    }
     std::fprintf(stderr, "obs_check: unknown subcommand %s\n",
                  argv[1]);
     return 2;
