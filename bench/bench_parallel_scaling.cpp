@@ -50,6 +50,36 @@ fingerprint(const std::vector<core::Characterization> &chars,
     return out.str();
 }
 
+/**
+ * The Figures 14-17 measurement grid at one pool width: prefetch
+ * every (latency, batch, instances) tuple in parallel, then assemble
+ * the degradations serially from the warm cache. Returns the
+ * full-precision fingerprint of the assembled grid.
+ */
+std::string
+scaleoutFingerprint(core::Lab &lab,
+                    const std::vector<workload::WorkloadProfile> &latency,
+                    const std::vector<workload::WorkloadProfile> &batch,
+                    int threads, int max_instances)
+{
+    const auto mode = core::CoLocationMode::kSmt;
+    lab.multiInstancePrefetch(latency, threads, batch, max_instances,
+                              mode);
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto &l : latency) {
+        for (const auto &b : batch) {
+            for (int k = 1; k <= max_instances; ++k) {
+                out << lab.multiInstanceDegradation(l, threads, b, k,
+                                                    mode)
+                    << " ";
+            }
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
 } // namespace
 
 int
@@ -110,8 +140,51 @@ main()
 
     std::printf("\nparallel outputs byte-identical to serial: %s\n",
                 identical ? "yes" : "NO — DETERMINISM VIOLATION");
+
+    // The Figures 14-17 scale-out grid (multi-instance co-location
+    // tuples fanned out via multiInstancePrefetch) must honour the
+    // same contract: the grid assembled after a parallel prefetch is
+    // byte-identical to the serial measurement order. A reduced grid
+    // keeps the sweep in bench territory — 2 latency apps, 4 batch
+    // apps, up to 4 instances on the 6-core Sandy Bridge EN.
+    const auto &cloud = workload::cloudsuite::all();
+    const std::vector<workload::WorkloadProfile> latency(
+        cloud.begin(), cloud.begin() + 2);
+    const std::vector<workload::WorkloadProfile> batch_apps(
+        train.begin(), train.begin() + 4);
+    const int grid_threads = 4;
+    const int grid_instances = 4;
+
+    std::printf("\nscale-out grid (%zux%zux%d tuples):\n",
+                latency.size(), batch_apps.size(), grid_instances);
+    std::printf("%8s %12s %12s\n", "threads", "wall-clock",
+                "simulations");
+    std::string grid_reference;
+    bool grid_identical = true;
+    for (const int threads : {1, 4}) {
+        core::Lab lab(sim::MachineConfig::sandyBridgeEN(), warmup,
+                      measure);
+        lab.setParallelism(threads);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string fp = scaleoutFingerprint(
+            lab, latency, batch_apps, grid_threads, grid_instances);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (threads == 1)
+            grid_reference = fp;
+        else if (fp != grid_reference)
+            grid_identical = false;
+        std::printf("%8d %11.2fs %12llu\n", threads,
+                    std::chrono::duration<double>(t1 - t0).count(),
+                    static_cast<unsigned long long>(
+                        lab.stats().total()));
+    }
+    bench::ReportScope::recordResult(
+        "scaleout_byte_identical", obs::json::Value(grid_identical));
+    std::printf("scale-out grid byte-identical to serial: %s\n",
+                grid_identical ? "yes" : "NO — DETERMINISM VIOLATION");
+
     bench::paperReference(
         "the paper's offline characterization phase is embarrassingly "
         "parallel; SMiTe amortizes it across the fleet");
-    return identical ? 0 : 1;
+    return identical && grid_identical ? 0 : 1;
 }

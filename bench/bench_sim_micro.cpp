@@ -1,118 +1,228 @@
 /**
  * @file
- * Microbenchmarks (google-benchmark) for the simulation substrate:
- * machine throughput, cache/TLB lookup costs, trace generation and
- * model fitting. These guard the performance of the experiment
- * harnesses rather than reproducing a paper figure.
+ * Microbenchmark harness for the simulation substrate: machine
+ * throughput (simulated cycles and uops per second, solo and SMT
+ * pair), cache/TLB lookup cost, trace generation, model fitting and
+ * the queueing kernel.
+ *
+ * Unlike the figure harnesses this guards the *performance* of the
+ * simulator, not its outputs. Every kernel is timed on CPU time
+ * (median of several repeats, so scheduler noise on a shared box
+ * mostly cancels) and the results are written to a machine-readable
+ * `BENCH_sim.json` (schema `smite-run-report/1`) next to the
+ * human-readable summary on stdout.
+ *
+ * The committed BENCH_sim.json at the repository root is the perf
+ * baseline: `scripts/tier1.sh` re-runs this harness in Release and
+ * diffs the fresh report against the baseline with `report_diff
+ * --tol 0.6`, so an accidental 2x slowdown of the simulator hot path
+ * fails tier-1 while ordinary machine-to-machine variance passes.
+ *
+ *   bench_sim_micro [output.json]   (default: BENCH_sim.json)
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
 
 #include "core/smite.h"
+#include "obs/report.h"
 
 using namespace smite;
 
 namespace {
 
-void
-BM_CacheAccess(benchmark::State &state)
+/** CPU time of this process in seconds (immune to co-runner load). */
+double
+cpuSeconds()
 {
-    sim::SetAssocCache cache(
-        sim::CacheConfig{"L2", 256 * 1024, 8, 12});
-    std::uint64_t line = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(cache.access(line, false));
-        line = (line * 2654435761u + 1) % 8192;
+#if defined(__unix__) || defined(__APPLE__)
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
+}
+
+/** Repeats per kernel; the median is reported. */
+constexpr int kRepeats = 5;
+
+/**
+ * Median CPU time of @p kRepeats runs of @p fn, in seconds. One
+ * untimed warmup run first so cold caches and lazy allocations don't
+ * land in the first repeat.
+ */
+template <typename Fn>
+double
+medianSeconds(Fn &&fn)
+{
+    fn();
+    std::vector<double> times;
+    times.reserve(kRepeats);
+    for (int r = 0; r < kRepeats; ++r) {
+        const double t0 = cpuSeconds();
+        fn();
+        times.push_back(cpuSeconds() - t0);
     }
+    std::sort(times.begin(), times.end());
+    return times[kRepeats / 2];
 }
-BENCHMARK(BM_CacheAccess);
 
-void
-BM_TlbAccess(benchmark::State &state)
-{
-    sim::Tlb tlb(sim::TlbConfig{512, 30});
-    std::uint64_t page = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(tlb.access(page));
-        page = (page * 48271 + 1) % 1024;
+/** Defeat dead-code elimination without a compiler intrinsic. */
+volatile std::uint64_t g_sink;
+
+struct Reporter {
+    obs::RunReport report{"bench_sim_micro"};
+
+    void
+    record(const char *key, double value, const char *unit)
+    {
+        std::printf("%-28s %14.3f %s\n", key, value, unit);
+        report.addResult(key, obs::json::Value(value));
     }
-}
-BENCHMARK(BM_TlbAccess);
+};
 
+/** Simulated-cycles/uops throughput of one placement shape. */
 void
-BM_TraceGeneration(benchmark::State &state)
-{
-    workload::ProfileUopSource source(
-        workload::spec2006::byName("403.gcc"));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(source.next());
-}
-BENCHMARK(BM_TraceGeneration);
-
-void
-BM_MachineSoloCycles(benchmark::State &state)
-{
-    const sim::Machine machine(sim::MachineConfig::ivyBridge());
-    workload::ProfileUopSource source(
-        workload::spec2006::byName("456.hmmer"));
-    const sim::Cycle cycles = state.range(0);
-    for (auto _ : state) {
-        source.reset();
-        benchmark::DoNotOptimize(
-            machine.runSolo(source, 0, cycles));
-    }
-    state.SetItemsProcessed(state.iterations() * cycles);
-}
-BENCHMARK(BM_MachineSoloCycles)->Arg(10000)->Arg(50000);
-
-void
-BM_MachinePairSmtCycles(benchmark::State &state)
+benchMachine(Reporter &out, const char *tag, sim::Cycle cycles,
+             int iters, bool pair)
 {
     const sim::Machine machine(sim::MachineConfig::ivyBridge());
     workload::ProfileUopSource a(
         workload::spec2006::byName("456.hmmer"));
-    workload::ProfileUopSource b(
-        workload::spec2006::byName("470.lbm"));
-    const sim::Cycle cycles = state.range(0);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            machine.runPairSmt(a, b, 0, cycles));
-    }
-    state.SetItemsProcessed(state.iterations() * cycles);
-}
-BENCHMARK(BM_MachinePairSmtCycles)->Arg(10000)->Arg(50000);
+    workload::ProfileUopSource b(workload::spec2006::byName("470.lbm"));
 
-void
-BM_RegressionFit(benchmark::State &state)
-{
-    workload::Rng rng(42);
-    const int dims = 22, samples = 200;
-    std::vector<std::vector<double>> x;
-    std::vector<double> y;
-    for (int s = 0; s < samples; ++s) {
-        std::vector<double> row(dims);
-        for (double &v : row)
-            v = rng.nextDouble();
-        x.push_back(std::move(row));
-        y.push_back(rng.nextDouble());
-    }
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            stats::LinearModel::fit(x, y, 1e-6));
-    }
+    std::uint64_t uops = 0;
+    const double seconds = medianSeconds([&] {
+        uops = 0;
+        for (int i = 0; i < iters; ++i) {
+            if (pair) {
+                for (const auto &c :
+                     machine.runPairSmt(a, b, 0, cycles))
+                    uops += c.uops;
+            } else {
+                uops += machine.runSolo(a, 0, cycles).uops;
+            }
+        }
+    });
+    const double sim_cycles = static_cast<double>(cycles) * iters;
+    out.record((std::string(tag) + "_cycles_per_sec").c_str(),
+               sim_cycles / seconds, "sim cycles/s");
+    out.record((std::string(tag) + "_uops_per_sec").c_str(),
+               static_cast<double>(uops) / seconds, "uops/s");
 }
-BENCHMARK(BM_RegressionFit);
-
-void
-BM_QueueSim(benchmark::State &state)
-{
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            queueing::simulateMm1(1200, 2000, 20000, 1));
-    }
-}
-BENCHMARK(BM_QueueSim);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_sim.json";
+    Reporter out;
+    out.report.setConfig("machine", obs::json::Value("Ivy Bridge"));
+    out.report.setConfig("repeats", obs::json::Value(kRepeats));
+
+    std::printf("simulation-substrate microbenchmarks "
+                "(median of %d CPU-time repeats)\n\n",
+                kRepeats);
+
+    // Machine throughput: the headline numbers. 50k-cycle runs are
+    // the shape every Lab measurement takes; 10k-cycle runs keep the
+    // fixed per-run setup cost (construction + prewarm) visible.
+    benchMachine(out, "solo_50k", 50'000, 4, /*pair=*/false);
+    benchMachine(out, "solo_10k", 10'000, 10, /*pair=*/false);
+    benchMachine(out, "pair_50k", 50'000, 2, /*pair=*/true);
+    benchMachine(out, "pair_10k", 10'000, 8, /*pair=*/true);
+
+    // Cache lookup: hit-heavy pseudo-random pattern over an L2-sized
+    // array, the single hottest comparison loop in the simulator.
+    {
+        sim::SetAssocCache cache(
+            sim::CacheConfig{"L2", 256 * 1024, 8, 12});
+        constexpr int kOps = 1'000'000;
+        const double seconds = medianSeconds([&] {
+            std::uint64_t line = 0, hits = 0;
+            for (int i = 0; i < kOps; ++i) {
+                hits += cache.access(line, false).hit ? 1 : 0;
+                line = (line * 2654435761u + 1) % 8192;
+            }
+            g_sink = hits;
+        });
+        out.record("cache_access_ns", seconds / kOps * 1e9, "ns/op");
+    }
+
+    // TLB lookup: same shape, page-granular.
+    {
+        sim::Tlb tlb(sim::TlbConfig{512, 30});
+        constexpr int kOps = 1'000'000;
+        const double seconds = medianSeconds([&] {
+            std::uint64_t page = 0, hits = 0;
+            for (int i = 0; i < kOps; ++i) {
+                hits += tlb.access(page) ? 1 : 0;
+                page = (page * 48271 + 1) % 1024;
+            }
+            g_sink = hits;
+        });
+        out.record("tlb_access_ns", seconds / kOps * 1e9, "ns/op");
+    }
+
+    // Trace generation: the synthetic-workload uop stream by itself.
+    {
+        workload::ProfileUopSource source(
+            workload::spec2006::byName("403.gcc"));
+        constexpr int kUops = 1'000'000;
+        constexpr int kBatch = 64;
+        sim::Uop buf[kBatch];
+        const double seconds = medianSeconds([&] {
+            std::uint64_t sum = 0;
+            for (int i = 0; i < kUops / kBatch; ++i) {
+                source.nextBatch(buf, kBatch);
+                sum += buf[0].pc;
+            }
+            g_sink = sum;
+        });
+        out.record("trace_gen_uops_per_sec", kUops / seconds,
+                   "uops/s");
+    }
+
+    // Model fitting: the ridge regression behind SMiTe training.
+    {
+        workload::Rng rng(42);
+        const int dims = 22, samples = 200;
+        std::vector<std::vector<double>> x;
+        std::vector<double> y;
+        for (int s = 0; s < samples; ++s) {
+            std::vector<double> row(dims);
+            for (double &v : row)
+                v = rng.nextDouble();
+            x.push_back(std::move(row));
+            y.push_back(rng.nextDouble());
+        }
+        const double seconds = medianSeconds([&] {
+            const auto model = stats::LinearModel::fit(x, y, 1e-6);
+            g_sink = static_cast<std::uint64_t>(
+                model.weights().size());
+        });
+        out.record("regression_fit_ms", seconds * 1e3, "ms/fit");
+    }
+
+    // Queueing kernel: the tail-latency discrete-event simulation.
+    {
+        const double seconds = medianSeconds([&] {
+            g_sink = static_cast<std::uint64_t>(
+                queueing::simulateMm1(1200, 2000, 20000, 1)
+                    .responseTimes.size());
+        });
+        out.record("queue_sim_ms", seconds * 1e3, "ms/run");
+    }
+
+    if (!out.report.writeTo(out_path))
+        return 1;
+    std::printf("\nreport written to %s\n", out_path.c_str());
+    return 0;
+}

@@ -25,6 +25,27 @@ inline constexpr int kLatencyThreads = 6;
 inline constexpr int kServersPerApp = 1000;
 
 /**
+ * Fan the full measurement grid of a scale-out sweep — latency-app
+ * and batch-app characterizations plus every (latency, batch,
+ * 1..kLatencyThreads) multi-instance degradation — out across the
+ * Lab's thread pool (width: SMITE_THREADS). The serial table-assembly
+ * loops below then run entirely on cache hits, so their output is
+ * byte-identical to the all-serial protocol (verified by
+ * bench_parallel_scaling).
+ */
+inline void
+prefetchScaleoutGrid(core::Lab &lab,
+                     const std::vector<workload::WorkloadProfile> &latency,
+                     const std::vector<workload::WorkloadProfile> &batch)
+{
+    const auto mode = core::CoLocationMode::kSmt;
+    lab.characterizeAll(latency, mode, kLatencyThreads);
+    lab.characterizeAll(batch, mode);
+    lab.multiInstancePrefetch(latency, kLatencyThreads, batch,
+                              kLatencyThreads, mode);
+}
+
+/**
  * Average-performance QoS tables: QoS = 1 - degradation, actual from
  * many-instance co-location measurements, predicted from the SMiTe
  * model scaled to the instance count.
@@ -35,6 +56,7 @@ buildAvgPerfPairings(core::Lab &lab, const core::SmiteModel &model,
                      const std::vector<workload::WorkloadProfile> &batch)
 {
     const auto mode = core::CoLocationMode::kSmt;
+    prefetchScaleoutGrid(lab, latency, batch);
     std::vector<scheduler::Pairing> pairings;
     for (const auto &cloud : latency) {
         const auto &cloud_char =
@@ -74,6 +96,7 @@ buildTailPairings(core::Lab &lab, const core::SmiteModel &model,
                   const std::vector<workload::WorkloadProfile> &batch)
 {
     const auto mode = core::CoLocationMode::kSmt;
+    prefetchScaleoutGrid(lab, latency, batch);
     std::vector<scheduler::Pairing> pairings;
     for (const auto &cloud : latency) {
         const core::TailLatencyPredictor predictor(cloud);

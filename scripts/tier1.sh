@@ -99,6 +99,48 @@ cmp "$DET_A/fig10.stdout" "$DET_B/fig10.stdout"
 rm -rf "$DET_A" "$DET_B"
 echo "determinism: ok"
 
+# --- Simulator perf smoke ------------------------------------------
+# Re-run the simulation-substrate microbenchmarks (CPU-time medians)
+# and diff the fresh report against the committed baseline. The
+# tolerance is deliberately generous: machine-to-machine variance
+# passes, an accidental hot-path regression of the simulator (the
+# quantity BENCH_sim.json exists to pin) fails with the exact metric
+# that moved.
+PERF_DIR="$(mktemp -d)"
+(
+    cd "$PERF_DIR"
+    "$REPO/build/bench/bench_sim_micro" fresh.json > bench.stdout
+    "$REPO/build/tools/report_diff" --tol 0.6 \
+        "$REPO/BENCH_sim.json" fresh.json
+)
+rm -rf "$PERF_DIR"
+echo "perf smoke: ok"
+
+# --- Debug/Release equivalence -------------------------------------
+# The optimized simulator kernels must not change a single output
+# byte across optimization levels: run one figure harness from an
+# asserts-on Debug build and byte-compare its stdout with the default
+# (-O2, NDEBUG) build's.
+cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-debug -j"$JOBS" \
+    --target bench_fig10_spec_smt_prediction
+DBG_A="$(mktemp -d)"
+DBG_B="$(mktemp -d)"
+(
+    cd "$DBG_A"
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build/bench/bench_fig10_spec_smt_prediction" > out.txt
+)
+(
+    cd "$DBG_B"
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build-debug/bench/bench_fig10_spec_smt_prediction" \
+        > out.txt
+)
+cmp "$DBG_A/out.txt" "$DBG_B/out.txt"
+rm -rf "$DBG_A" "$DBG_B"
+echo "debug/release equivalence: ok"
+
 # --- Markdown link check -------------------------------------------
 # Every relative link target in the top-level docs must exist.
 bad_links=0

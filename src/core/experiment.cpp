@@ -629,6 +629,57 @@ Lab::measureAllPairs(const std::vector<workload::WorkloadProfile> &profiles,
     return result;
 }
 
+void
+Lab::multiInstancePrefetch(
+    const std::vector<workload::WorkloadProfile> &latency, int threads,
+    const std::vector<workload::WorkloadProfile> &batch,
+    int max_instances, CoLocationMode mode)
+{
+    const int workers = parallelism();
+
+    // Every tuple of one latency app divides by the same solo IPC;
+    // measure those first so the fanned-out tuples don't serialize on
+    // the single-flight solo entry. A failure resurfaces from the
+    // tuple that needs it.
+    parallelFor(
+        latency.size(),
+        [&](std::size_t l) {
+            try {
+                soloIpc(latency[l], threads);
+            } catch (const fault::MeasurementError &) {
+            }
+        },
+        workers);
+
+    struct Tuple {
+        std::size_t l;
+        std::size_t b;
+        int k;
+    };
+    std::vector<Tuple> tuples;
+    tuples.reserve(latency.size() * batch.size() *
+                   static_cast<std::size_t>(max_instances));
+    for (std::size_t l = 0; l < latency.size(); ++l) {
+        for (std::size_t b = 0; b < batch.size(); ++b) {
+            for (int k = 1; k <= max_instances; ++k)
+                tuples.push_back(Tuple{l, b, k});
+        }
+    }
+    parallelFor(
+        tuples.size(),
+        [&](std::size_t t) {
+            try {
+                multiInstanceDegradation(latency[tuples[t].l], threads,
+                                         batch[tuples[t].b],
+                                         tuples[t].k, mode);
+            } catch (const fault::MeasurementError &) {
+                // Retry budget spent (already logged); the caller's
+                // assembly loop sees the deterministic re-failure.
+            }
+        },
+        workers);
+}
+
 SmiteModel
 Lab::trainSmite(const std::vector<workload::WorkloadProfile> &training_set,
                 CoLocationMode mode)

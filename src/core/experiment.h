@@ -202,6 +202,23 @@ class Lab
                     CoLocationMode mode);
 
     /**
+     * Warm the multi-instance degradation cache for every
+     * (latency app, batch app, 1..max_instances) tuple — the
+     * measurement grid of the Figures 14-17 scale-out sweeps — in
+     * parallel across the pool. Subsequent multiInstanceDegradation()
+     * calls for these tuples are cache hits, so a serial assembly
+     * loop after this produces values byte-identical to the
+     * all-serial protocol. A tuple that fails past its retry budget
+     * is skipped here (already logged) and re-fails deterministically
+     * when asked for directly.
+     */
+    void multiInstancePrefetch(
+        const std::vector<workload::WorkloadProfile> &latency,
+        int threads,
+        const std::vector<workload::WorkloadProfile> &batch,
+        int max_instances, CoLocationMode mode);
+
+    /**
      * Train a SMiTe model: characterize every workload in
      * @p training_set, measure all ordered co-location pairs among
      * them (both phases parallel, see the batch APIs), and fit

@@ -7,6 +7,12 @@
  * the shared L3. SMT capacity contention arises naturally because the
  * two hardware contexts of a core probe the same L1/L2 arrays with
  * disjoint address spaces.
+ *
+ * Storage is flattened into per-field arrays (tags / LRU stamps /
+ * dirty bits) so a set lookup scans one contiguous run of tags —
+ * typically a single cache line on the host — instead of striding
+ * through an array of structs. Behavior is bit-identical to the
+ * array-of-structs model it replaced (enforced by test_golden_sim).
  */
 
 #ifndef SMITE_SIM_CACHE_H
@@ -57,6 +63,15 @@ class SetAssocCache
      */
     AccessResult access(Addr line, bool write);
 
+    /**
+     * Read-allocate a line the caller knows is absent: exactly
+     * access(line, false) minus the hit scan, which absence makes a
+     * provable miss (asserted in debug builds). The prewarm paths
+     * fill a fresh machine with each line exactly once, so they pay
+     * this instead of a full-set scan per insert.
+     */
+    AccessResult insertAbsent(Addr line);
+
     /** Non-mutating lookup: is the line present? */
     bool probe(Addr line) const;
 
@@ -81,20 +96,43 @@ class SetAssocCache
     const CacheConfig &config() const { return config_; }
 
   private:
-    struct Line {
-        Addr tag = kNoTag;
-        std::uint64_t lastUse = 0;
-        bool dirty = false;
-    };
-
     static constexpr Addr kNoTag = ~Addr{0};
 
-    std::uint64_t setIndex(Addr line) const { return line % numSets_; }
+    /** fillWays_ value meaning "valid ways are not a [0, n) prefix". */
+    static constexpr std::uint8_t kNoPrefix = 0xFF;
+
+    /** Set of @p line: masked when numSets_ is a power of two. */
+    std::uint64_t
+    setIndex(Addr line) const
+    {
+        return setsPow2_ ? (line & setMask_) : (line % numSets_);
+    }
 
     CacheConfig config_;
     std::uint64_t numSets_;
+    std::uint64_t setMask_ = 0;   ///< numSets_ - 1 when a power of two
+    bool setsPow2_ = false;
+    int assoc_;
     std::uint64_t useClock_ = 0;
-    std::vector<Line> lines_;  ///< numSets_ * assoc, set-major
+
+    // Flat set-major arrays, numSets_ * assoc_ entries each. Empty
+    // ways carry tag kNoTag and stamp 0; valid stamps are >= 1.
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint8_t> dirty_;
+
+    /**
+     * Per-set prefix-fill tracker: when != kNoPrefix, the set's valid
+     * ways are exactly ways [0, fillWays_[s]) — true from empty
+     * through sequential filling, since misses allocate the first
+     * empty way. insertAbsent() then places its line at way
+     * fillWays_[s] directly, no tag scan needed (the dominant cost of
+     * prewarming a multi-megabyte L3 line by line). An invalidate in
+     * the middle of the prefix breaks the invariant; the set falls
+     * back to scanning forever after (kNoPrefix is sticky until
+     * flush).
+     */
+    std::vector<std::uint8_t> fillWays_;
 };
 
 } // namespace smite::sim

@@ -1,5 +1,6 @@
 #include "sim/context.h"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -18,6 +19,8 @@ HardwareContext::HardwareContext(const CoreConfig &core_config,
     }
     windowCap_ = core_config.windowSize;
     window_.resize(windowCap_);
+    slotState_.assign(windowCap_, 0);
+    unissuedBits_.assign((windowCap_ + 63) / 64, 0);
     mshrBusyUntil_.assign(core_config.mshrs, 0);
     completion_.fill(0);
 }
@@ -32,41 +35,63 @@ HardwareContext::bind(UopSource *source, Addr addr_base, Addr pc_base)
         source_->reset();
     head_ = 0;
     count_ = 0;
+    slotState_.assign(windowCap_, 0);
+    unissuedBits_.assign(unissuedBits_.size(), 0);
     nextSeq_ = 0;
     completion_.fill(0);
     fetchStallUntil_ = 0;
     waitingBranch_ = false;
     lastFetchLine_ = ~Addr{0};
     mshrBusyUntil_.assign(coreConfig_.mshrs, 0);
+    mshrAllBusyUntil_ = 0;
+    noIssueBefore_ = 0;
+    fetchBufPos_ = 0;
+    fetchBufLen_ = 0;
     counters_ = CounterBlock{};
 }
 
-bool
-HardwareContext::operandsReady(const Slot &slot, Cycle now) const
+Cycle
+HardwareContext::slotReadyAt(const Slot &slot, Cycle now) const
 {
+    // An issued producer completes at a fixed, already-recorded cycle
+    // (the dependence ring outlives the window, so the entry cannot
+    // have been recycled). An unissued producer finishes no earlier
+    // than next cycle: every execution latency is at least one.
     const Uop &uop = slot.uop;
+    Cycle ready = 0;
     if (uop.srcDist1 != 0) {
-        const Cycle done =
-            completion_[(slot.seq - uop.srcDist1) % kDepRing];
-        if (done > now)
-            return false;
+        Cycle done = completion_[(slot.seq - uop.srcDist1) % kDepRing];
+        if (done == kNeverCycle)
+            done = now + 1;
+        ready = done;
     }
     if (uop.srcDist2 != 0) {
-        const Cycle done =
-            completion_[(slot.seq - uop.srcDist2) % kDepRing];
-        if (done > now)
-            return false;
+        Cycle done = completion_[(slot.seq - uop.srcDist2) % kDepRing];
+        if (done == kNeverCycle)
+            done = now + 1;
+        if (done > ready)
+            ready = done;
     }
-    return true;
+    return ready;
 }
 
 int
-HardwareContext::freeMshr(Cycle now) const
+HardwareContext::freeMshr(Cycle now)
 {
-    for (size_t i = 0; i < mshrBusyUntil_.size(); ++i) {
+    if (now < mshrAllBusyUntil_)
+        return -1;
+    const std::size_t n = mshrBusyUntil_.size();
+    Cycle earliest = kNeverCycle;
+    for (std::size_t i = 0; i < n; ++i) {
         if (mshrBusyUntil_[i] <= now)
             return static_cast<int>(i);
+        earliest = earliest < mshrBusyUntil_[i] ? earliest
+                                                : mshrBusyUntil_[i];
     }
+    // No mutation can free a slot earlier than the current minimum:
+    // assignments only happen after a successful scan, and time only
+    // moves forward, so the memo stays valid until it expires.
+    mshrAllBusyUntil_ = earliest;
     return -1;
 }
 
@@ -76,14 +101,14 @@ HardwareContext::pickPort(unsigned mask, unsigned port_busy)
     const unsigned available = mask & ~port_busy;
     if (available == 0)
         return -1;
-    for (int k = 0; k < kNumPorts; ++k) {
-        const int port = (portRotor_ + k) % kNumPorts;
-        if (available & (1u << port)) {
-            portRotor_ = (port + 1) % kNumPorts;
-            return port;
-        }
-    }
-    return -1;
+    // First free port cyclically at or after the rotor: scan the bits
+    // >= rotor, falling back to the lowest set bit on wrap-around.
+    const unsigned at_or_after = available >> portRotor_;
+    const int port = at_or_after != 0
+                         ? portRotor_ + std::countr_zero(at_or_after)
+                         : std::countr_zero(available);
+    portRotor_ = port + 1 == kNumPorts ? 0 : port + 1;
+    return port;
 }
 
 int
@@ -96,9 +121,20 @@ HardwareContext::fetch(Cycle now, int budget, int core, MemorySystem &mem)
         return 0;
     }
 
+    const int cap = windowCap_;
     int fetched = 0;
-    while (fetched < budget && count_ < windowCap_) {
-        Uop uop = source_->next();
+    while (fetched < budget && count_ < cap) {
+        if (fetchBufPos_ == fetchBufLen_) {
+            fetchBufLen_ =
+                source_->nextBatch(fetchBuf_.data(), kFetchBatch);
+            fetchBufPos_ = 0;
+        }
+        int tail = head_ + count_;
+        if (tail >= cap)
+            tail -= cap;
+        Slot &slot = window_[tail];
+        slot.uop = fetchBuf_[fetchBufPos_++];
+        Uop &uop = slot.uop;
         uop.pc += pcBase_;
         if (uop.type == UopType::kLoad || uop.type == UopType::kStore)
             uop.addr += addrBase_;
@@ -116,12 +152,12 @@ HardwareContext::fetch(Cycle now, int budget, int core, MemorySystem &mem)
 
         const std::uint64_t seq = nextSeq_++;
         completion_[seq % kDepRing] = kNeverCycle;
-        Slot &slot = window_[(head_ + count_) % windowCap_];
-        slot.uop = uop;
         slot.seq = seq;
-        slot.issued = false;
+        slotState_[tail] = 0;
+        unissuedBits_[tail >> 6] |= std::uint64_t{1} << (tail & 63);
         ++count_;
         ++fetched;
+        noIssueBefore_ = 0;  // the new uop may be issuable right away
 
         if (uop.type == UopType::kBranch) {
             ++counters_.branches;
@@ -146,90 +182,157 @@ HardwareContext::issue(Cycle now, unsigned &port_busy, int &core_budget,
 {
     if (!active() || count_ == 0)
         return 0;
+    if (now < noIssueBefore_)
+        return 0;  // last scan proved nothing can issue yet
+
+    const int cap = windowCap_;
+    const int issue_limit = coreConfig_.issuePerContext;
+    const int sched_depth = coreConfig_.schedDepth;
+    Slot *const window = window_.data();
+    Cycle *const state = slotState_.data();
+    std::uint64_t *const bits = unissuedBits_.data();
+    const int words = static_cast<int>(unissuedBits_.size());
 
     int issued = 0;
     int examined = 0;
-    for (int i = 0;
-         i < count_ && issued < coreConfig_.issuePerContext &&
-         core_budget > 0 && examined < coreConfig_.schedDepth;
-         ++i) {
-        Slot &slot = slotAt(i);
-        if (slot.issued)
-            continue;
-        ++examined;  // scheduler only sees the oldest unissued uops
-        if (!operandsReady(slot, now))
-            continue;
+    // Earliest cycle any slot this scan rejected could issue instead.
+    Cycle retry = kNeverCycle;
+    bool stop = false;
 
-        const Uop &uop = slot.uop;
-        Cycle finish;
-        int port = -1;
-
-        switch (uop.type) {
-          case UopType::kLoad: {
-            port = pickPort(portMask(UopType::kLoad), port_busy);
-            if (port < 0)
-                continue;
-            const int mshr = freeMshr(now);
-            if (mshr < 0)
-                continue;  // no miss slot; try younger non-loads
-            const Cycle lat = mem.dataAccess(core, false, uop.addr, now,
-                                             counters_, dtlb_);
-            ++counters_.loads;
-            finish = now + lat;
-            if (lat > mem.l1dHitLatency())
-                mshrBusyUntil_[mshr] = finish;
-            break;
-          }
-          case UopType::kStore: {
-            port = pickPort(portMask(UopType::kStore), port_busy);
-            if (port < 0)
-                continue;
-            const int mshr = freeMshr(now);
-            if (mshr < 0)
-                continue;  // store buffer full of outstanding misses
-            // Stores drain through a store buffer: program progress
-            // does not wait for the cache update, but a missing
-            // store holds a miss slot until its line arrives, which
-            // flow-controls the DRAM traffic stores can generate.
-            const Cycle lat = mem.dataAccess(core, true, uop.addr, now,
-                                             counters_, dtlb_);
-            ++counters_.stores;
-            finish = now + execLatency(UopType::kStore);
-            if (lat > mem.l1dHitLatency())
-                mshrBusyUntil_[mshr] = now + lat;
-            break;
-          }
-          case UopType::kNop:
-            finish = now + 1;
-            break;
-          default: {
-            port = pickPort(portMask(uop.type), port_busy);
-            if (port < 0)
-                continue;
-            finish = now + execLatency(uop.type);
-            break;
-          }
+    // Enumerate unissued slots in ring order from the head: the head
+    // word masked at the head bit, the remaining words cyclically,
+    // and finally the wrapped low bits of the head word. Each set bit
+    // is exactly one slot the slot-by-slot walk would have examined,
+    // in the same order; issued holes cost nothing.
+    const std::uint64_t ones = ~std::uint64_t{0};
+    const int head_word = head_ >> 6;
+    const std::uint64_t head_mask = ones << (head_ & 63);
+    int wi = head_word;
+    for (int v = 0; v <= words && !stop; ++v) {
+        std::uint64_t word;
+        if (v == 0) {
+            word = bits[wi] & head_mask;
+        } else {
+            wi = wi + 1 == words ? 0 : wi + 1;
+            word = bits[wi];
+            if (v == words)
+                word &= ~head_mask;  // wrapped tail of the head word
         }
+        const int idx_base = wi << 6;
+        while (word != 0) {
+            if (issued >= issue_limit || core_budget <= 0 ||
+                examined >= sched_depth) {
+                stop = true;
+                break;
+            }
+            const int idx = idx_base + std::countr_zero(word);
+            word &= word - 1;
+            ++examined;  // scheduler sees the oldest unissued uops
+            const Cycle bound = state[idx];
+            if (now < bound) {
+                retry = retry < bound ? retry : bound;
+                continue;
+            }
+            Slot &slot = window[idx];
+            const Cycle ready_at = slotReadyAt(slot, now);
+            if (ready_at > now) {
+                state[idx] = ready_at;
+                retry = retry < ready_at ? retry : ready_at;
+                continue;
+            }
 
-        if (port >= 0) {
-            port_busy |= 1u << port;
-            ++counters_.portIssued[port];
-        }
-        completion_[slot.seq % kDepRing] = finish;
-        slot.issued = true;
-        ++counters_.uops;
-        ++issued;
-        --core_budget;
+            const Uop &uop = slot.uop;
+            Cycle finish;
+            int port = -1;
 
-        if (waitingBranch_ && slot.seq == waitingBranchSeq_) {
-            waitingBranch_ = false;
-            fetchStallUntil_ = finish + coreConfig_.redirectPenalty;
+            switch (uop.type) {
+              case UopType::kLoad: {
+                port = pickPort(portMask(UopType::kLoad), port_busy);
+                if (port < 0) {
+                    retry = now + 1 < retry ? now + 1 : retry;
+                    continue;
+                }
+                const int mshr = freeMshr(now);
+                if (mshr < 0) {
+                    // No miss slot; try younger non-loads.
+                    retry = now + 1 < retry ? now + 1 : retry;
+                    continue;
+                }
+                const Cycle lat = mem.dataAccess(core, false, uop.addr,
+                                                 now, counters_, dtlb_);
+                ++counters_.loads;
+                finish = now + lat;
+                if (lat > mem.l1dHitLatency())
+                    mshrBusyUntil_[mshr] = finish;
+                break;
+              }
+              case UopType::kStore: {
+                port = pickPort(portMask(UopType::kStore), port_busy);
+                if (port < 0) {
+                    retry = now + 1 < retry ? now + 1 : retry;
+                    continue;
+                }
+                const int mshr = freeMshr(now);
+                if (mshr < 0) {
+                    // Store buffer full of outstanding misses.
+                    retry = now + 1 < retry ? now + 1 : retry;
+                    continue;
+                }
+                // Stores drain through a store buffer: program
+                // progress does not wait for the cache update, but a
+                // missing store holds a miss slot until its line
+                // arrives, which flow-controls the DRAM traffic
+                // stores can generate.
+                const Cycle lat = mem.dataAccess(core, true, uop.addr,
+                                                 now, counters_, dtlb_);
+                ++counters_.stores;
+                finish = now + execLatency(UopType::kStore);
+                if (lat > mem.l1dHitLatency())
+                    mshrBusyUntil_[mshr] = now + lat;
+                break;
+              }
+              case UopType::kNop:
+                finish = now + 1;
+                break;
+              default: {
+                port = pickPort(portMask(uop.type), port_busy);
+                if (port < 0) {
+                    retry = now + 1 < retry ? now + 1 : retry;
+                    continue;
+                }
+                finish = now + execLatency(uop.type);
+                break;
+              }
+            }
+
+            if (port >= 0) {
+                port_busy |= 1u << port;
+                ++counters_.portIssued[port];
+            }
+            completion_[slot.seq % kDepRing] = finish;
+            bits[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+            ++counters_.uops;
+            ++issued;
+            --core_budget;
+
+            if (waitingBranch_ && slot.seq == waitingBranchSeq_) {
+                waitingBranch_ = false;
+                fetchStallUntil_ = finish + coreConfig_.redirectPenalty;
+            }
         }
     }
 
-    // In-order retirement of issued slots frees window capacity.
-    while (count_ > 0 && window_[head_].issued) {
-        head_ = (head_ + 1) % windowCap_;
+    // With nothing issued and the window unchanged, the same scan
+    // would reject the same slots every cycle until the earliest
+    // retry bound; remember it so those scans are skipped outright.
+    if (issued == 0 && retry != kNeverCycle)
+        noIssueBefore_ = retry;
+
+    // In-order retirement of issued slots frees window capacity (a
+    // clear bit on an in-window slot means it issued).
+    while (count_ > 0 &&
+           (bits[head_ >> 6] & (std::uint64_t{1} << (head_ & 63))) == 0) {
+        head_ = head_ + 1 == cap ? 0 : head_ + 1;
         --count_;
     }
     return issued;

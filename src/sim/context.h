@@ -12,6 +12,13 @@
  * issued. This is the cheapest model in which port contention, ILP
  * and memory-level parallelism all emerge naturally — exactly the
  * effects the paper's Rulers measure.
+ *
+ * The window is a ring buffer indexed with wrap-if arithmetic (never
+ * `%`, whose runtime divide dominated the issue scan), uops are
+ * pulled from the UopSource in batches to amortize the virtual
+ * dispatch, and the MSHR scan memoizes the earliest-free deadline so
+ * a full set of outstanding misses is rejected in O(1). All of it is
+ * behavior-preserving (enforced by test_golden_sim).
  */
 
 #ifndef SMITE_SIM_CONTEXT_H
@@ -85,11 +92,55 @@ class HardwareContext
     int issue(Cycle now, unsigned &port_busy, int &core_budget, int core,
               MemorySystem &mem);
 
-    /** Advance per-cycle accounting (call once per tick when active). */
-    void tickAccounting() { ++counters_.cycles; }
-
     /** Uops currently in the window (ICOUNT fetch arbitration). */
     int inFlight() const { return count_; }
+
+    /**
+     * Earliest future cycle at which this context's fetch or issue
+     * stage could have any observable effect, given its state now —
+     * or @p now itself when a stage would act this very cycle (no
+     * skip possible). Ticks strictly before the bound are no-ops
+     * except for the per-cycle fetch-stall counter, which the caller
+     * replays in bulk via addFetchStallCycles() (see stallCounts()).
+     * Inactive contexts never act (kNeverCycle).
+     */
+    Cycle
+    idleBound(Cycle now) const
+    {
+        if (!active())
+            return kNeverCycle;
+        Cycle fetch_bound;
+        if (waitingBranch_)
+            fetch_bound = kNeverCycle;  // blocked until a (future) issue
+        else if (fetchStallUntil_ > now)
+            fetch_bound = fetchStallUntil_;
+        else if (count_ == windowCap_)
+            fetch_bound = kNeverCycle;  // full; frees only via issue
+        else
+            return now;  // fetch would insert uops this cycle
+        if (count_ == 0)
+            return fetch_bound;  // nothing to issue until a fetch
+        if (noIssueBefore_ > now) {
+            return fetch_bound < noIssueBefore_ ? fetch_bound
+                                                : noIssueBefore_;
+        }
+        return now;  // issue would scan this cycle
+    }
+
+    /**
+     * Would each cycle in an idle stretch starting at @p now bump the
+     * fetch-stall counter? (Exactly the condition under which fetch()
+     * counts a stalled cycle; constant across the stretch, since the
+     * deciding state only changes when a stage acts.)
+     */
+    bool
+    stallCounts(Cycle now) const
+    {
+        return active() && (waitingBranch_ || fetchStallUntil_ > now);
+    }
+
+    /** Bulk-account fetch-stall cycles for skipped idle ticks. */
+    void addFetchStallCycles(Cycle n) { counters_.fetchStallCycles += n; }
 
     /** Counter block (mutable: memory system accounts into it). */
     CounterBlock &counters() { return counters_; }
@@ -99,16 +150,25 @@ class HardwareContext
     struct Slot {
         Uop uop;
         std::uint64_t seq = 0;
-        bool issued = false;
     };
 
-    Slot &slotAt(int i) { return window_[(head_ + i) % windowCap_]; }
+    /** Uops pulled per UopSource::nextBatch() call. */
+    static constexpr int kFetchBatch = 16;
 
-    /** Are the register operands of @p slot available at @p now? */
-    bool operandsReady(const Slot &slot, Cycle now) const;
+    /**
+     * Earliest cycle the operands of @p slot can be available (exact
+     * for issued producers; now + 1 for unissued ones). The slot is
+     * ready at @p now iff the returned bound is <= @p now.
+     */
+    Cycle slotReadyAt(const Slot &slot, Cycle now) const;
 
-    /** Find a free MSHR, or -1. */
-    int freeMshr(Cycle now) const;
+    /**
+     * Find a free MSHR, or -1. Picks the lowest free index, like the
+     * linear scan it replaced; when all MSHRs are busy the earliest
+     * deadline is memoized so the (common) repeat query next cycle
+     * fails without rescanning.
+     */
+    int freeMshr(Cycle now);
 
     /** Pick a free port from @p mask honouring @p port_busy, or -1. */
     int pickPort(unsigned mask, unsigned port_busy);
@@ -123,9 +183,36 @@ class HardwareContext
     Addr pcBase_ = 0;
 
     std::vector<Slot> window_;
+
+    /**
+     * Per-slot readiness memo, kept outside Slot so the issue scan
+     * streams through a dense 8-byte-per-slot array: a lower bound on
+     * the first cycle the slot's operands can be ready (issued
+     * producers complete at a known cycle, unissued ones no earlier
+     * than next cycle, so re-evaluating readiness before the bound is
+     * provably futile; 0 = not yet evaluated).
+     */
+    std::vector<Cycle> slotState_;
+
+    /**
+     * One bit per window slot, set iff the slot holds an unissued
+     * uop. The issue scan measured ~3 issued-but-unretired "holes"
+     * for every unissued slot it actually examines, so it enumerates
+     * this bitmap with count-trailing-zeros instead of walking the
+     * ring slot by slot. Invariant: bit set <=> slot is in the window
+     * and unissued (cleared at issue, so retired slots are always
+     * clear; fetch sets the bit on insert).
+     */
+    std::vector<std::uint64_t> unissuedBits_;
+
     int windowCap_ = 0;
     int head_ = 0;
     int count_ = 0;
+
+    /** Read-ahead buffer over source_ (order-preserving). */
+    std::array<Uop, kFetchBatch> fetchBuf_{};
+    int fetchBufPos_ = 0;
+    int fetchBufLen_ = 0;
 
     /** Completion cycle per seq (mod kDepRing); kNeverCycle = pending. */
     std::array<Cycle, kDepRing> completion_{};
@@ -136,6 +223,17 @@ class HardwareContext
     std::uint64_t waitingBranchSeq_ = 0;
 
     std::vector<Cycle> mshrBusyUntil_;
+    Cycle mshrAllBusyUntil_ = 0;  ///< no MSHR frees before this cycle
+
+    /**
+     * A failed issue scan with an unchanged window is deterministic:
+     * nothing can issue again before the minimum retry bound the scan
+     * computed, so until that cycle (or the next fetch into the
+     * window, which resets this to 0) issue() returns without
+     * scanning. Skipped scans have no observable effects — no
+     * counters move and retirement would find nothing issued.
+     */
+    Cycle noIssueBefore_ = 0;
     Addr lastFetchLine_ = ~Addr{0};
     int portRotor_ = 0;  ///< rotates port preference for multi-port uops
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -38,7 +39,7 @@ codeBase(size_t i)
 void
 prewarmData(MemorySystem &mem, const MachineConfig &config,
             const std::vector<Placement> &placements,
-            const std::vector<double> &weights)
+            const std::vector<double> &weights, bool fresh)
 {
     const std::uint64_t l3_lines = config.l3.sizeBytes / kLineBytes;
 
@@ -77,13 +78,19 @@ prewarmData(MemorySystem &mem, const MachineConfig &config,
         }
     }
 
+    // On the first pass over a fresh machine every inserted line is
+    // provably new (cursors only advance, address slices are
+    // disjoint), so the L3 hit scan can be skipped wholesale.
     std::vector<Addr> cursor(placements.size(), 0);
     bool progress = true;
     while (progress) {
         progress = false;
         for (size_t i = 0; i < placements.size(); ++i) {
             for (int k = 0; k < 64 && budget[i] > 0; ++k) {
-                mem.prewarmData(dataBase(i) + cursor[i]);
+                if (fresh)
+                    mem.prewarmDataAbsent(dataBase(i) + cursor[i]);
+                else
+                    mem.prewarmData(dataBase(i) + cursor[i]);
                 cursor[i] += kLineBytes;
                 --budget[i];
                 progress = true;
@@ -95,14 +102,18 @@ prewarmData(MemorySystem &mem, const MachineConfig &config,
 /** Install the placements' program text (resident long before a run). */
 void
 prewarmCode(MemorySystem &mem, const MachineConfig &config,
-            const std::vector<Placement> &placements)
+            const std::vector<Placement> &placements, bool fresh)
 {
     for (size_t i = 0; i < placements.size(); ++i) {
         const Addr code = std::min<Addr>(
             placements[i].source->codeFootprint(),
             config.l3.sizeBytes / 4);
-        for (Addr off = 0; off < code; off += kLineBytes)
-            mem.prewarmData(codeBase(i) + off);
+        for (Addr off = 0; off < code; off += kLineBytes) {
+            if (fresh)
+                mem.prewarmDataAbsent(codeBase(i) + off);
+            else
+                mem.prewarmData(codeBase(i) + off);
+        }
     }
 }
 
@@ -115,11 +126,13 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
     obs::Span span("machine.run",
                    std::to_string(placements.size()) + " contexts");
     MemorySystem mem(config_);
-    std::vector<SmtCore> cores;
-    cores.reserve(config_.numCores);
-    for (int c = 0; c < config_.numCores; ++c)
-        cores.emplace_back(config_, c);
 
+    // Cores are constructed lazily, only where a placement lands: an
+    // unplaced core is never ticked and never issues a memory access,
+    // so its absence is unobservable — while its window, TLB and MSHR
+    // arrays are a measurable share of the per-run setup cost for the
+    // common 1-2 core runs.
+    std::vector<std::unique_ptr<SmtCore>> cores(config_.numCores);
     for (size_t i = 0; i < placements.size(); ++i) {
         const Placement &p = placements[i];
         if (p.core < 0 || p.core >= config_.numCores ||
@@ -127,20 +140,64 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
             p.source == nullptr) {
             throw std::invalid_argument("invalid placement");
         }
+        if (cores[p.core] == nullptr)
+            cores[p.core] = std::make_unique<SmtCore>(config_, p.core);
         // Give each context a private slice of the address space so
         // co-runners contend for capacity, never share lines.
-        cores[p.core].context(p.context).bind(p.source, dataBase(i),
-                                              codeBase(i));
+        cores[p.core]->context(p.context).bind(p.source, dataBase(i),
+                                               codeBase(i));
     }
 
     auto counters_of = [&](size_t i) -> const CounterBlock & {
         const Placement &p = placements[i];
-        return cores[p.core].context(p.context).counters();
+        return cores[p.core]->context(p.context).counters();
     };
+
+    // Only tick cores with at least one bound context; an idle core's
+    // tick is a no-op, so skipping it is behavior-preserving. Cycle
+    // counters are bulk-added per interval (one cycle per tick per
+    // active context) instead of being bumped inside every tick.
+    std::vector<SmtCore *> live;
+    for (const auto &core : cores) {
+        if (core == nullptr)
+            continue;
+        for (int k = 0; k < core->numContexts(); ++k) {
+            if (core->context(k).active()) {
+                live.push_back(core.get());
+                break;
+            }
+        }
+    }
     auto tick_for = [&](Cycle from, Cycle to) {
         for (Cycle now = from; now < to; ++now) {
-            for (SmtCore &core : cores)
-                core.tick(now, mem);
+            for (SmtCore *core : live)
+                core->tick(now, mem);
+            // Event skip: when every live core is provably inert until
+            // some future cycle (fetch stalled or window-full, issue
+            // inside its memoized retry bound), jump straight there,
+            // bulk-accounting the fetch-stall counters the skipped
+            // no-op ticks would have bumped. Queried only once per
+            // real tick, so busy stretches pay a single cheap check.
+            Cycle skip_to = to;
+            for (SmtCore *core : live) {
+                const Cycle b = core->idleBound(now + 1);
+                if (b <= now + 1) {
+                    skip_to = now + 1;
+                    break;
+                }
+                skip_to = b < skip_to ? b : skip_to;
+            }
+            if (skip_to > now + 1) {
+                for (SmtCore *core : live)
+                    core->accountIdle(now + 1, skip_to);
+                now = skip_to - 1;  // loop increment lands on skip_to
+            }
+        }
+        for (SmtCore *core : live) {
+            for (int k = 0; k < core->numContexts(); ++k) {
+                if (core->context(k).active())
+                    core->context(k).counters().cycles += to - from;
+            }
         }
     };
 
@@ -155,8 +212,8 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
         weights[i] =
             std::sqrt(placements[i].source->residencyWeight());
     }
-    prewarmData(mem, config_, placements, weights);
-    prewarmCode(mem, config_, placements);
+    prewarmData(mem, config_, placements, weights, /*fresh=*/true);
+    prewarmCode(mem, config_, placements, /*fresh=*/true);
     const Cycle half_warmup = warmup / 2;
     tick_for(0, half_warmup);
 
@@ -168,8 +225,9 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
             const double ipc = counters_of(i).ipc();
             weights[i] *= std::sqrt(std::max(ipc, 0.05));
         }
-        prewarmData(mem, config_, placements, weights);
-        prewarmCode(mem, config_, placements);  // keep text resident
+        prewarmData(mem, config_, placements, weights, /*fresh=*/false);
+        prewarmCode(mem, config_, placements,
+                    /*fresh=*/false);  // keep text resident
     }
     tick_for(half_warmup, warmup);
 

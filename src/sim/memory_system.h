@@ -64,6 +64,17 @@ class MemorySystem
      */
     void prewarmData(Addr addr) { l3_.access(lineAddr(addr), false); }
 
+    /**
+     * prewarmData for a line the caller knows is not yet resident
+     * (the first prewarm pass over a fresh machine): skips the L3
+     * hit scan, with identical resulting state.
+     */
+    void
+    prewarmDataAbsent(Addr addr)
+    {
+        l3_.insertAbsent(lineAddr(addr));
+    }
+
     /** L1D hit latency (used to detect misses for MSHR occupancy). */
     Cycle l1dHitLatency() const { return config_.l1d.hitLatency; }
 

@@ -13,7 +13,31 @@ SmtCore::SmtCore(const MachineConfig &config, int core_id)
 void
 SmtCore::tick(Cycle now, MemorySystem &mem)
 {
+    // Idle contexts no-op through fetch and issue, so arbitration
+    // only matters when at least two contexts are live: an idle core
+    // returns immediately and a solo context just consumes the full
+    // core bandwidth, skipping rotation and ICOUNT entirely. Both
+    // fast paths are observationally identical to the general loop.
     const int n = numContexts();
+    int active = 0;
+    int solo = -1;
+    for (int k = 0; k < n; ++k) {
+        if (contexts_[k].active()) {
+            ++active;
+            solo = k;
+        }
+    }
+    if (active == 0)
+        return;
+    if (active == 1) {
+        HardwareContext &ctx = contexts_[solo];
+        ctx.fetch(now, coreConfig_.fetchWidth, coreId_, mem);
+        unsigned port_busy = 0;
+        int core_budget = coreConfig_.issuePerCore;
+        ctx.issue(now, port_busy, core_budget, coreId_, mem);
+        return;
+    }
+
     int first = static_cast<int>(now % n);
     if (coreConfig_.fetchPolicy == FetchPolicy::kIcount) {
         // ICOUNT: the context with the fewest in-flight uops fetches
@@ -28,22 +52,20 @@ SmtCore::tick(Cycle now, MemorySystem &mem)
 
     // Front end: contexts share the fetch bandwidth.
     int fetch_budget = coreConfig_.fetchWidth;
+    int idx = first;
     for (int k = 0; k < n && fetch_budget > 0; ++k) {
-        HardwareContext &ctx = contexts_[(first + k) % n];
-        fetch_budget -= ctx.fetch(now, fetch_budget, coreId_, mem);
+        fetch_budget -= contexts_[idx].fetch(now, fetch_budget,
+                                             coreId_, mem);
+        idx = idx + 1 == n ? 0 : idx + 1;
     }
 
     // Issue: ports and core dispatch slots are shared; same rotation.
     unsigned port_busy = 0;
     int core_budget = coreConfig_.issuePerCore;
+    idx = first;
     for (int k = 0; k < n && core_budget > 0; ++k) {
-        HardwareContext &ctx = contexts_[(first + k) % n];
-        ctx.issue(now, port_busy, core_budget, coreId_, mem);
-    }
-
-    for (HardwareContext &ctx : contexts_) {
-        if (ctx.active())
-            ctx.tickAccounting();
+        contexts_[idx].issue(now, port_busy, core_budget, coreId_, mem);
+        idx = idx + 1 == n ? 0 : idx + 1;
     }
 }
 

@@ -34,8 +34,48 @@ class SmtCore
     /** Number of hardware contexts on this core. */
     int numContexts() const { return static_cast<int>(contexts_.size()); }
 
-    /** Advance the core by one cycle. */
+    /**
+     * Advance the core by one cycle. Per-context cycle counters are
+     * NOT touched here: the caller owns cycle accounting and adds
+     * whole intervals in bulk (active contexts accrue exactly one
+     * cycle per tick, so the sum is the same either way).
+     */
     void tick(Cycle now, MemorySystem &mem);
+
+    /**
+     * Earliest future cycle at which any context of this core could
+     * act, or @p now when some stage would act this very cycle. tick()
+     * itself is pure arbitration — all its effects flow through
+     * fetch() and issue() — so while every active context is inside
+     * its idle bound, whole ticks are provably no-ops (except the
+     * per-cycle fetch-stall counters, replayed via accountIdle()).
+     */
+    Cycle
+    idleBound(Cycle now) const
+    {
+        Cycle bound = kNeverCycle;
+        for (const HardwareContext &ctx : contexts_) {
+            const Cycle b = ctx.idleBound(now);
+            if (b <= now)
+                return now;
+            bound = b < bound ? b : bound;
+        }
+        return bound;
+    }
+
+    /**
+     * Replay the only observable effect of the skipped no-op ticks in
+     * [@p from, @p to): one fetch-stall cycle per tick for each
+     * context whose fetch was stalled (not merely window-full).
+     */
+    void
+    accountIdle(Cycle from, Cycle to)
+    {
+        for (HardwareContext &ctx : contexts_) {
+            if (ctx.stallCounts(from))
+                ctx.addFetchStallCycles(to - from);
+        }
+    }
 
   private:
     CoreConfig coreConfig_;

@@ -4,6 +4,13 @@
  *
  * A TLB miss costs a fixed page-walk latency that is added to the
  * access latency of the triggering load/store/instruction fetch.
+ *
+ * Lookups are O(1): an open-addressing page index finds the entry and
+ * an intrusive doubly-linked list maintains exact LRU order, replacing
+ * the seed model's O(entries) linear scan (the data TLB has 512
+ * entries and is probed by every load and store, which made that scan
+ * the simulator's hottest loop). Hit/miss decisions and victim choice
+ * are bit-identical to the scan model (enforced by test_golden_sim).
  */
 
 #ifndef SMITE_SIM_TLB_H
@@ -46,16 +53,50 @@ class Tlb
     void flush();
 
   private:
-    struct Entry {
-        Addr page = kNoPage;
-        std::uint64_t lastUse = 0;
-    };
-
     static constexpr Addr kNoPage = ~Addr{0};
+    static constexpr std::int32_t kNil = -1;
+
+    /** Bit mixer spreading page numbers over the hash table. */
+    static std::uint64_t
+    hashOf(Addr page)
+    {
+        std::uint64_t x = page;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ull;
+        x ^= x >> 33;
+        return x;
+    }
+
+    /** Detach entry @p e from the LRU list. */
+    void unlink(std::int32_t e);
+
+    /** Append entry @p e at the MRU end of the list. */
+    void pushMru(std::int32_t e);
+
+    /** Insert a resident page into the hash table. */
+    void tableInsert(Addr page, std::int32_t entry);
+
+    /** Remove the (present) page of cell @p cell, back-shifting. */
+    void tableErase(std::size_t cell);
+
+    /** Table cell holding @p page; the page must be resident. */
+    std::size_t cellOf(Addr page) const;
+
+    /** Rebuild the empty-TLB state (list 0..n-1, clear table). */
+    void resetState();
 
     TlbConfig config_;
-    std::uint64_t useClock_ = 0;
-    std::vector<Entry> entries_;
+
+    std::vector<Addr> pages_;         ///< per-entry resident page
+    std::vector<std::int32_t> prev_;  ///< LRU list links (kNil = end)
+    std::vector<std::int32_t> next_;
+    std::int32_t lruHead_ = kNil;     ///< least recently used entry
+    std::int32_t lruTail_ = kNil;     ///< most recently used entry
+
+    std::vector<std::int32_t> table_;  ///< page -> entry, linear probing
+    std::size_t tableMask_ = 0;
 };
 
 } // namespace smite::sim

@@ -127,6 +127,21 @@ class UopSource {
     /** Produce the next uop in program order. */
     virtual Uop next() = 0;
 
+    /**
+     * Fill @p out with the next @p max uops in program order and
+     * return how many were produced (always @p max for the infinite
+     * streams this interface models). The batch form lets hot callers
+     * amortize the virtual dispatch; overriding it in a `final` class
+     * additionally devirtualizes the per-uop next() calls.
+     */
+    virtual int
+    nextBatch(Uop *out, int max)
+    {
+        for (int i = 0; i < max; ++i)
+            out[i] = next();
+        return max;
+    }
+
     /** Rewind the stream to its initial state. */
     virtual void reset() = 0;
 

@@ -23,7 +23,22 @@ ProfileUopSource::ProfileUopSource(const WorkloadProfile &profile,
             throw std::invalid_argument("negative mix fraction");
         sum += profile_.mix[t];
         cumulativeMix_[t] = sum;
+        cumulativeMixThr_[t] = Rng::mantissaCeil(sum);
     }
+    thrStream_ = Rng::mantissaCeil(profile_.streamFraction);
+    thrStack_ = Rng::mantissaCeil(profile_.stackProb);
+    thrHot_ = Rng::mantissaCeil(profile_.hotProb);
+    thrLoadDep_ = Rng::mantissaCeil(profile_.loadDepProb);
+    thrBranchDep_ = Rng::mantissaCeil(0.5 * profile_.depProb);
+    thrDep_ = Rng::mantissaCeil(profile_.depProb);
+    thrDep2_ = Rng::mantissaCeil(profile_.dep2Prob);
+    thrMispredict_ = Rng::mantissaCeil(profile_.branchMispredictRate);
+    thrPhaseLow_ = Rng::mantissaFloor(profile_.phaseLowFactor);
+    // mean > 1 implies p < 1 and so a threshold >= 1; 0 is free to
+    // act as the "trivial draw" sentinel.
+    thrDepGeom_ = profile_.depMeanDist > 1.0
+                      ? Rng::mantissaCeil(1.0 / profile_.depMeanDist)
+                      : 0;
     if (sum > 1.0 + 1e-9)
         throw std::invalid_argument("uop mix sums to more than 1");
     if (profile_.hotBytes > profile_.dataFootprint)
@@ -77,16 +92,20 @@ ProfileUopSource::nextPc()
     }
     --dwellLeft_;
     const sim::Addr pc = regionBase_ + regionOffset_;
-    regionOffset_ = (regionOffset_ + kBytesPerUop) % profile_.loopBytes;
+    // regionOffset_ < loopBytes and kBytesPerUop < 64 <= loopBytes,
+    // so a single subtraction replaces the modulo exactly.
+    regionOffset_ += kBytesPerUop;
+    if (regionOffset_ >= profile_.loopBytes)
+        regionOffset_ -= profile_.loopBytes;
     return pc;
 }
 
 sim::UopType
 ProfileUopSource::sampleType()
 {
-    const double x = rng_.nextDouble();
+    const std::uint64_t x = rng_.nextMantissa();
     for (int t = 0; t < sim::kNumUopTypes; ++t) {
-        if (x < cumulativeMix_[t])
+        if (x < cumulativeMixThr_[t])
             return static_cast<sim::UopType>(t);
     }
     return sim::UopType::kNop;
@@ -95,23 +114,33 @@ ProfileUopSource::sampleType()
 std::uint8_t
 ProfileUopSource::sampleDepDistance()
 {
-    const std::uint64_t d = rng_.nextGeometric(profile_.depMeanDist);
+    // Inline of rng_.nextGeometric(profile_.depMeanDist) with the
+    // trial threshold precomputed at construction: same draws, same
+    // results, no divide on the per-uop path.
+    std::uint64_t d = 1;
+    if (thrDepGeom_ != 0) {
+        while (rng_.nextMantissa() >= thrDepGeom_ && d < 1024)
+            ++d;
+    }
     return static_cast<std::uint8_t>(std::min<std::uint64_t>(d, 63));
 }
 
 sim::Addr
 ProfileUopSource::nextDataAddr()
 {
-    if (rng_.nextDouble() < profile_.streamFraction) {
+    if (rng_.nextMantissa() < thrStream_) {
         // Streaming walks the footprint at element (8B) granularity,
         // so consecutive accesses mostly stay within one cache line —
-        // the spatial locality real array code has.
-        streamCursor_ = (streamCursor_ + 8) % profile_.dataFootprint;
+        // the spatial locality real array code has. The cursor stays
+        // below the footprint (>= 64), so wrap by subtraction.
+        streamCursor_ += 8;
+        if (streamCursor_ >= profile_.dataFootprint)
+            streamCursor_ -= profile_.dataFootprint;
         return streamCursor_;
     }
-    if (rng_.nextDouble() < profile_.stackProb)
+    if (rng_.nextMantissa() < thrStack_)
         return rng_.nextBelow(profile_.stackBytes / 8) * 8;
-    if (rng_.nextDouble() < profile_.hotProb)
+    if (rng_.nextMantissa() < thrHot_)
         return rng_.nextBelow(profile_.hotBytes / 8) * 8;
     return rng_.nextBelow(profile_.dataFootprint / 8) * 8;
 }
@@ -128,7 +157,7 @@ ProfileUopSource::next()
                              -mean * std::log(1.0 - rng_.nextDouble()));
     }
     --phaseLeft_;
-    if (lowPhase_ && rng_.nextDouble() > profile_.phaseLowFactor) {
+    if (lowPhase_ && rng_.nextMantissa() > thrPhaseLow_) {
         sim::Uop filler;
         filler.type = sim::UopType::kNop;
         filler.pc = nextPc();
@@ -143,18 +172,18 @@ ProfileUopSource::next()
         // Loads serialize on earlier results only when the program
         // actually chases pointers; array address streams are
         // dependence-free and overlap their misses.
-        if (rng_.nextDouble() < profile_.loadDepProb)
+        if (rng_.nextMantissa() < thrLoadDep_)
             uop.srcDist1 = sampleDepDistance();
     } else if (uop.type == sim::UopType::kBranch) {
         // Branch conditions are typically simple flag tests; give
         // them lighter dependences so resolution is not dominated by
         // deep value chains.
-        if (rng_.nextDouble() < 0.5 * profile_.depProb)
+        if (rng_.nextMantissa() < thrBranchDep_)
             uop.srcDist1 = sampleDepDistance();
     } else {
-        if (rng_.nextDouble() < profile_.depProb)
+        if (rng_.nextMantissa() < thrDep_)
             uop.srcDist1 = sampleDepDistance();
-        if (rng_.nextDouble() < profile_.dep2Prob)
+        if (rng_.nextMantissa() < thrDep2_)
             uop.srcDist2 = sampleDepDistance();
     }
 
@@ -164,13 +193,21 @@ ProfileUopSource::next()
         uop.addr = nextDataAddr();
         break;
       case sim::UopType::kBranch:
-        uop.mispredict =
-            rng_.nextDouble() < profile_.branchMispredictRate;
+        uop.mispredict = rng_.nextMantissa() < thrMispredict_;
         break;
       default:
         break;
     }
     return uop;
+}
+
+int
+ProfileUopSource::nextBatch(sim::Uop *out, int max)
+{
+    // The class is final, so these next() calls resolve statically.
+    for (int i = 0; i < max; ++i)
+        out[i] = next();
+    return max;
 }
 
 } // namespace smite::workload

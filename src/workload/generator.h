@@ -24,7 +24,7 @@ namespace smite::workload {
  * solo and co-located measurements of the same application directly
  * comparable, mirroring how the paper replays the same binaries.
  */
-class ProfileUopSource : public sim::UopSource
+class ProfileUopSource final : public sim::UopSource
 {
   public:
     /**
@@ -35,6 +35,7 @@ class ProfileUopSource : public sim::UopSource
                               std::uint64_t seed = 1);
 
     sim::Uop next() override;
+    int nextBatch(sim::Uop *out, int max) override;
     void reset() override;
 
     /**
@@ -96,6 +97,32 @@ class ProfileUopSource : public sim::UopSource
 
     /** Cumulative mix distribution, indexed like the mix array. */
     std::array<double, sim::kNumUopTypes> cumulativeMix_{};
+
+    /**
+     * Integer-domain thresholds (Rng::mantissaCeil/Floor) for the
+     * per-uop Bernoulli draws; exactly equivalent to comparing
+     * nextDouble() against the profile probabilities, minus the
+     * int-to-double conversion on every draw.
+     */
+    std::array<std::uint64_t, sim::kNumUopTypes> cumulativeMixThr_{};
+    std::uint64_t thrStream_ = 0;     ///< < streamFraction
+    std::uint64_t thrStack_ = 0;      ///< < stackProb
+    std::uint64_t thrHot_ = 0;        ///< < hotProb
+    std::uint64_t thrLoadDep_ = 0;    ///< < loadDepProb
+    std::uint64_t thrBranchDep_ = 0;  ///< < 0.5 * depProb
+    std::uint64_t thrDep_ = 0;        ///< < depProb
+    std::uint64_t thrDep2_ = 0;       ///< < dep2Prob
+    std::uint64_t thrMispredict_ = 0; ///< < branchMispredictRate
+    std::uint64_t thrPhaseLow_ = 0;   ///< > phaseLowFactor
+
+    /**
+     * Geometric-trial success threshold for the dependence-distance
+     * draw (Rng::nextGeometric with mean depMeanDist, its 1/mean
+     * divide hoisted out of the per-uop path). 0 means the mean is
+     * <= 1 and the draw trivially returns 1 without consuming RNG
+     * state, matching nextGeometric exactly.
+     */
+    std::uint64_t thrDepGeom_ = 0;
 
     sim::Addr streamCursor_ = 0;  ///< streaming access position
     sim::Addr regionBase_ = 0;    ///< current code region (loop) base

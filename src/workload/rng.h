@@ -12,6 +12,7 @@
 #ifndef SMITE_WORKLOAD_RNG_H
 #define SMITE_WORKLOAD_RNG_H
 
+#include <cmath>
 #include <cstdint>
 
 namespace smite::workload {
@@ -43,6 +44,31 @@ class Rng
         return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
     }
 
+    /**
+     * The 53-bit integer draw behind nextDouble() (one draw from the
+     * same stream). `nextMantissa() < mantissaCeil(p)` is exactly
+     * `nextDouble() < p` without the int-to-double conversion, since
+     * m * 2^-53 < p  <=>  m < p * 2^53  <=>  m < ceil(p * 2^53):
+     * scaling a double by a power of two is exact and m is integral.
+     * Likewise `nextMantissa() > mantissaFloor(p)` is exactly
+     * `nextDouble() > p`.
+     */
+    std::uint64_t nextMantissa() { return nextU64() >> 11; }
+
+    /** Integer threshold for `nextDouble() < p`; p in [0, 1]. */
+    static std::uint64_t
+    mantissaCeil(double p)
+    {
+        return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
+    }
+
+    /** Integer threshold for `nextDouble() > p`; p in [0, 1]. */
+    static std::uint64_t
+    mantissaFloor(double p)
+    {
+        return static_cast<std::uint64_t>(p * 0x1.0p53);
+    }
+
     /** Uniform integer in [0, bound). @p bound must be nonzero. */
     std::uint64_t
     nextBelow(std::uint64_t bound)
@@ -59,9 +85,12 @@ class Rng
     {
         if (mean <= 1.0)
             return 1;
-        const double p = 1.0 / mean;
+        // Integer-domain trials: `nextDouble() >= p` is the negation
+        // of `nextDouble() < p` (see nextMantissa) — same draws, one
+        // int-compare per trial.
+        const std::uint64_t t = mantissaCeil(1.0 / mean);
         std::uint64_t k = 1;
-        while (nextDouble() >= p && k < 1024)
+        while (nextMantissa() >= t && k < 1024)
             ++k;
         return k;
     }

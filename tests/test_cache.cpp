@@ -159,5 +159,161 @@ TEST(Cache, SequentialOverSubscriptionThrashes)
     }
 }
 
+// ----- Interface pins: the exact replacement semantics the flat ----
+// ----- kernels must preserve (fill order, hit recency, dirty -------
+// ----- propagation, prefix-fill maintenance). ----------------------
+
+/** Hits reorder recency: the victim is the least recently USED way,
+ *  not the least recently filled one. */
+TEST(Cache, LruOrderTracksHits)
+{
+    SetAssocCache cache(smallCache(256, 4));  // one set, four ways
+    for (Addr line : {0, 1, 2, 3})
+        cache.access(line, false);
+    // Touch in an order that makes fill order and recency disagree.
+    cache.access(1, false);
+    cache.access(0, false);
+    cache.access(3, false);  // recency now 2 < 1 < 0 < 3
+    EXPECT_EQ(cache.access(4, false).evictedLine, 2u);
+    EXPECT_EQ(cache.access(5, false).evictedLine, 1u);
+    EXPECT_EQ(cache.access(6, false).evictedLine, 0u);
+    EXPECT_EQ(cache.access(7, false).evictedLine, 3u);
+}
+
+/** Write misses allocate, and the allocated line is born dirty. */
+TEST(Cache, WriteAllocatesDirtyOnMiss)
+{
+    SetAssocCache cache(smallCache(128, 2));  // one set, two ways
+    EXPECT_FALSE(cache.access(10, true).hit);
+    EXPECT_TRUE(cache.probe(10));
+    cache.access(11, false);
+    const auto result = cache.access(12, false);  // evicts 10
+    EXPECT_TRUE(result.evictedValid);
+    EXPECT_TRUE(result.evictedDirty);
+    EXPECT_EQ(result.evictedLine, 10u);
+}
+
+/** An invalidated line takes its dirty bit with it: re-allocating the
+ *  same line clean must not resurrect the old dirty state. */
+TEST(Cache, InvalidateDropsDirtyBit)
+{
+    SetAssocCache cache(smallCache(128, 2));
+    cache.access(10, true);  // dirty
+    EXPECT_TRUE(cache.invalidate(10));
+    EXPECT_FALSE(cache.probe(10));
+    EXPECT_FALSE(cache.invalidate(10));  // already gone
+    cache.access(10, false);             // clean refill
+    cache.access(11, false);
+    const auto result = cache.access(12, false);  // evicts 10
+    EXPECT_TRUE(result.evictedValid);
+    EXPECT_FALSE(result.evictedDirty);
+}
+
+/** probe() must not touch recency: probing the LRU way over and over
+ *  must not save it from eviction. */
+TEST(Cache, ProbeDoesNotPerturbLru)
+{
+    SetAssocCache cache(smallCache(128, 2));
+    cache.access(10, false);
+    cache.access(11, false);  // recency 10 < 11
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(cache.probe(10));
+    EXPECT_EQ(cache.access(12, false).evictedLine, 10u);
+}
+
+/** insertAbsent() must be indistinguishable from access(line, false)
+ *  on a line that is not resident — same victims, same recency, same
+ *  dirty reporting — through fill, eviction and reuse. */
+TEST(Cache, InsertAbsentMatchesAccessHistory)
+{
+    SetAssocCache fast(smallCache(256, 4));  // one set, four ways
+    SetAssocCache ref(smallCache(256, 4));
+    for (Addr line = 0; line < 4; ++line) {
+        const auto a = fast.insertAbsent(line);
+        const auto b = ref.access(line, false);
+        EXPECT_EQ(a.evictedValid, b.evictedValid) << "line " << line;
+    }
+    // Full set: both caches must pick the same LRU victims from here.
+    for (Addr line = 4; line < 12; ++line) {
+        const auto a = fast.insertAbsent(line);
+        const auto b = ref.access(line, false);
+        EXPECT_TRUE(a.evictedValid);
+        EXPECT_EQ(a.evictedLine, b.evictedLine) << "line " << line;
+        EXPECT_EQ(a.evictedDirty, b.evictedDirty) << "line " << line;
+    }
+}
+
+/** Invalidating the newest prefix way shortens the fill prefix; the
+ *  freed way must be reused by the next absent insert. */
+TEST(Cache, InsertAbsentReusesInvalidatedTail)
+{
+    SetAssocCache cache(smallCache(256, 4));
+    cache.insertAbsent(0);
+    cache.insertAbsent(1);
+    EXPECT_TRUE(cache.invalidate(1));  // drop the newest way
+    cache.insertAbsent(2);             // must land in the freed way
+    cache.insertAbsent(3);
+    cache.insertAbsent(4);             // fills the set (0,2,3,4)
+    // A fifth distinct line must evict, not silently overwrite.
+    EXPECT_TRUE(cache.insertAbsent(5).evictedValid);
+    EXPECT_TRUE(cache.probe(5));
+}
+
+/** A hole punched into the middle of the fill prefix must be found
+ *  and reused before any valid way is evicted. */
+TEST(Cache, InsertAbsentFillsMidPrefixHole)
+{
+    SetAssocCache cache(smallCache(256, 4));
+    for (Addr line = 0; line < 3; ++line)
+        cache.insertAbsent(line);
+    EXPECT_TRUE(cache.invalidate(0));  // hole below ways 1 and 2
+    EXPECT_FALSE(cache.insertAbsent(10).evictedValid);
+    EXPECT_FALSE(cache.insertAbsent(11).evictedValid);
+    // Now genuinely full: 1, 2, 10, 11 all resident.
+    for (Addr line : {1, 2, 10, 11})
+        EXPECT_TRUE(cache.probe(line)) << "line " << line;
+    EXPECT_TRUE(cache.insertAbsent(12).evictedValid);
+}
+
+/** Mixed access()/insertAbsent()/invalidate() histories agree with a
+ *  pure access() reference on every observable outcome. */
+TEST(Cache, InsertAbsentMixedHistoryEquivalence)
+{
+    SetAssocCache fast(smallCache(512, 2));  // 4 sets x 2 ways
+    SetAssocCache ref(smallCache(512, 2));
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 20'000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const Addr line = (x >> 33) % 24;
+        const int op = static_cast<int>((x >> 29) & 7);
+        if (op < 4) {
+            const bool write = (x >> 27 & 1) != 0;
+            const auto a = fast.access(line, write);
+            const auto b = ref.access(line, write);
+            ASSERT_EQ(a.hit, b.hit) << "step " << i;
+            ASSERT_EQ(a.evictedValid, b.evictedValid) << "step " << i;
+            ASSERT_EQ(a.evictedDirty, b.evictedDirty) << "step " << i;
+        } else if (op < 6) {
+            // insertAbsent is only legal on absent lines.
+            if (!fast.probe(line)) {
+                const auto a = fast.insertAbsent(line);
+                const auto b = ref.access(line, false);
+                ASSERT_EQ(a.evictedValid, b.evictedValid)
+                    << "step " << i;
+                ASSERT_EQ(a.evictedDirty, b.evictedDirty)
+                    << "step " << i;
+                ASSERT_EQ(a.evictedLine, b.evictedLine)
+                    << "step " << i;
+            }
+        } else if (op < 7) {
+            ASSERT_EQ(fast.invalidate(line), ref.invalidate(line))
+                << "step " << i;
+        } else {
+            ASSERT_EQ(fast.probe(line), ref.probe(line))
+                << "step " << i;
+        }
+    }
+}
+
 } // namespace
 } // namespace smite::sim

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Golden-equivalence suite for the optimized simulator kernels.
+ *
+ * The flattened cache/TLB arrays and the fast-path core loops (see
+ * docs/PERFORMANCE.md) are pure optimizations: they must reproduce the
+ * seed model's behavior bit for bit. This file enforces that two ways:
+ *
+ *  1. Reference-model fuzzing: ReferenceSetAssocCache / ReferenceTlb
+ *     below are literal ports of the seed (pre-flattening) algorithms.
+ *     Long randomized access/probe/invalidate/flush traces over many
+ *     geometries must produce identical outcomes from both models.
+ *
+ *  2. End-to-end goldens: full Machine::run scenarios whose complete
+ *     CounterBlocks were captured from the seed-behavior build and
+ *     hard-coded here. Any divergence — one extra TLB miss, one
+ *     different LRU victim — shifts these counters and fails the test,
+ *     so byte-identical counters imply identical fig/table outputs.
+ *
+ * Regenerating the goldens (only when *intentionally* changing model
+ * semantics): run with SMITE_DUMP_GOLDEN=1 and paste the printed
+ * scenario arrays over the kGolden table below.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/machine.h"
+#include "sim/tlb.h"
+#include "workload/generator.h"
+#include "workload/rng.h"
+#include "workload/spec2006.h"
+
+namespace smite::sim {
+namespace {
+
+// ===================================================================
+// Reference models: the seed implementations, kept verbatim.
+// ===================================================================
+
+/** Seed-behavior set-associative LRU cache (array-of-structs). */
+class ReferenceSetAssocCache
+{
+  public:
+    explicit ReferenceSetAssocCache(const CacheConfig &config)
+        : config_(config)
+    {
+        const std::uint64_t lines = config.sizeBytes / kLineBytes;
+        numSets_ = lines / config.assoc;
+        lines_.resize(lines);
+    }
+
+    SetAssocCache::AccessResult
+    access(Addr line, bool write)
+    {
+        SetAssocCache::AccessResult result;
+        const std::uint64_t set = line % numSets_;
+        Line *base = &lines_[set * config_.assoc];
+        ++useClock_;
+
+        Line *victim = base;
+        for (int w = 0; w < config_.assoc; ++w) {
+            Line &entry = base[w];
+            if (entry.tag == line) {
+                entry.lastUse = useClock_;
+                entry.dirty = entry.dirty || write;
+                result.hit = true;
+                return result;
+            }
+            if (entry.tag == kNoTag) {
+                if (victim->tag != kNoTag ||
+                    victim->lastUse > entry.lastUse)
+                    victim = &entry;
+            } else if (victim->tag != kNoTag &&
+                       entry.lastUse < victim->lastUse) {
+                victim = &entry;
+            }
+        }
+
+        if (victim->tag != kNoTag) {
+            result.evictedValid = true;
+            result.evictedDirty = victim->dirty;
+            result.evictedLine = victim->tag;
+        }
+        victim->tag = line;
+        victim->lastUse = useClock_;
+        victim->dirty = write;
+        return result;
+    }
+
+    bool
+    probe(Addr line) const
+    {
+        const std::uint64_t set = line % numSets_;
+        const Line *base = &lines_[set * config_.assoc];
+        for (int w = 0; w < config_.assoc; ++w) {
+            if (base[w].tag == line)
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    invalidate(Addr line)
+    {
+        const std::uint64_t set = line % numSets_;
+        Line *base = &lines_[set * config_.assoc];
+        for (int w = 0; w < config_.assoc; ++w) {
+            if (base[w].tag == line) {
+                base[w] = Line{};
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    flush()
+    {
+        for (Line &entry : lines_)
+            entry = Line{};
+        useClock_ = 0;
+    }
+
+  private:
+    struct Line {
+        Addr tag = ~Addr{0};
+        std::uint64_t lastUse = 0;
+        bool dirty = false;
+    };
+    static constexpr Addr kNoTag = ~Addr{0};
+
+    CacheConfig config_;
+    std::uint64_t numSets_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Line> lines_;
+};
+
+/** Seed-behavior fully-associative LRU TLB (linear scan). */
+class ReferenceTlb
+{
+  public:
+    explicit ReferenceTlb(const TlbConfig &config)
+        : entries_(config.entries)
+    {}
+
+    bool
+    access(Addr page)
+    {
+        ++useClock_;
+        Entry *victim = &entries_[0];
+        for (Entry &entry : entries_) {
+            if (entry.page == page) {
+                entry.lastUse = useClock_;
+                return true;
+            }
+            if (entry.lastUse < victim->lastUse)
+                victim = &entry;
+        }
+        victim->page = page;
+        victim->lastUse = useClock_;
+        return false;
+    }
+
+    void
+    flush()
+    {
+        for (Entry &entry : entries_)
+            entry = Entry{};
+        useClock_ = 0;
+    }
+
+  private:
+    struct Entry {
+        Addr page = ~Addr{0};
+        std::uint64_t lastUse = 0;
+    };
+    std::uint64_t useClock_ = 0;
+    std::vector<Entry> entries_;
+};
+
+// ===================================================================
+// Fuzz equivalence: optimized vs reference under random traces.
+// ===================================================================
+
+struct CacheGeometry {
+    std::uint64_t sizeBytes;
+    int assoc;
+};
+
+class CacheEquivalence : public ::testing::TestWithParam<CacheGeometry>
+{
+};
+
+TEST_P(CacheEquivalence, RandomTraceMatchesReference)
+{
+    const auto [size, assoc] = GetParam();
+    CacheConfig config;
+    config.sizeBytes = size;
+    config.assoc = assoc;
+    SetAssocCache fast(config);
+    ReferenceSetAssocCache ref(config);
+    ASSERT_EQ(fast.numSets(), size / kLineBytes / assoc);
+
+    // Address pool ~2x capacity so hits, misses, clean and dirty
+    // evictions all occur; sprinkle probes, invalidates and flushes.
+    const std::uint64_t lines = 2 * size / kLineBytes + 7;
+    workload::Rng rng(0xC0FFEE ^ size ^ assoc);
+    for (int i = 0; i < 60'000; ++i) {
+        const Addr line = rng.nextBelow(lines);
+        const int op = static_cast<int>(rng.nextBelow(16));
+        if (op < 12) {
+            const bool write = rng.nextBelow(4) == 0;
+            const auto a = fast.access(line, write);
+            const auto b = ref.access(line, write);
+            ASSERT_EQ(a.hit, b.hit) << "step " << i;
+            ASSERT_EQ(a.evictedValid, b.evictedValid) << "step " << i;
+            ASSERT_EQ(a.evictedDirty, b.evictedDirty) << "step " << i;
+            if (a.evictedValid) {
+                ASSERT_EQ(a.evictedLine, b.evictedLine) << "step " << i;
+            }
+        } else if (op < 14) {
+            ASSERT_EQ(fast.probe(line), ref.probe(line)) << "step " << i;
+        } else if (op < 15) {
+            ASSERT_EQ(fast.invalidate(line), ref.invalidate(line))
+                << "step " << i;
+        } else if (rng.nextBelow(256) == 0) {
+            fast.flush();
+            ref.flush();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheEquivalence,
+    ::testing::Values(CacheGeometry{1024, 1},      // direct-mapped
+                      CacheGeometry{4096, 2},
+                      CacheGeometry{8192, 4},
+                      CacheGeometry{32 * 1024, 8},
+                      CacheGeometry{64 * 1024, 16},
+                      // Non-power-of-two sets and ways (the L3 of the
+                      // Sandy Bridge-EN preset is 20-way, 12288 sets).
+                      CacheGeometry{192 * 64, 4},  // 48 sets
+                      CacheGeometry{15 * 64 * 20, 20}));  // 15 sets
+
+class TlbEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TlbEquivalence, RandomTraceMatchesReference)
+{
+    TlbConfig config;
+    config.entries = GetParam();
+    Tlb fast(config);
+    ReferenceTlb ref(config);
+
+    // Phase between a small hot page set (mostly hits) and a wide
+    // range (capacity churn) so LRU order and victim choice are both
+    // exercised; occasional flushes reset the clock.
+    workload::Rng rng(0xBADF00D + config.entries);
+    for (int i = 0; i < 120'000; ++i) {
+        const bool hot = rng.nextBelow(3) != 0;
+        const std::uint64_t span =
+            hot ? static_cast<std::uint64_t>(config.entries) / 2 + 1
+                : static_cast<std::uint64_t>(config.entries) * 3 + 11;
+        const Addr page = rng.nextBelow(span);
+        ASSERT_EQ(fast.access(page), ref.access(page)) << "step " << i;
+        if (rng.nextBelow(20'000) == 0) {
+            fast.flush();
+            ref.flush();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlbEquivalence,
+                         ::testing::Values(1, 2, 7, 64, 128, 512));
+
+// ===================================================================
+// End-to-end goldens: seed-captured CounterBlocks, bit for bit.
+// ===================================================================
+
+/** CounterBlock flattened to a fixed field order for comparison. */
+constexpr int kNumFields = 23;
+
+std::array<std::uint64_t, kNumFields>
+flatten(const CounterBlock &c)
+{
+    return {c.cycles,       c.uops,           c.portIssued[0],
+            c.portIssued[1], c.portIssued[2], c.portIssued[3],
+            c.portIssued[4], c.portIssued[5], c.loads,
+            c.stores,        c.branches,      c.branchMispredicts,
+            c.l1dHits,       c.l1dMisses,     c.l2Hits,
+            c.l2Misses,      c.l3Hits,        c.l3Misses,
+            c.icacheMisses,  c.itlbMisses,    c.dtlbLoadMisses,
+            c.dtlbStoreMisses, c.fetchStallCycles};
+}
+
+constexpr const char *kFieldNames[kNumFields] = {
+    "cycles",       "uops",         "port0",     "port1",
+    "port2",        "port3",        "port4",     "port5",
+    "loads",        "stores",       "branches",  "branchMispredicts",
+    "l1dHits",      "l1dMisses",    "l2Hits",    "l2Misses",
+    "l3Hits",       "l3Misses",     "icacheMisses", "itlbMisses",
+    "dtlbLoadMisses", "dtlbStoreMisses", "fetchStallCycles"};
+
+struct GoldenScenario {
+    const char *name;
+    std::vector<std::vector<std::uint64_t>> expected;  // per placement
+};
+
+/** Machine + placements of scenario @p index; appends run results. */
+std::vector<CounterBlock>
+runScenario(int index)
+{
+    constexpr Cycle kWarmup = 3'000;
+    constexpr Cycle kMeasure = 12'000;
+    const auto src = [](const char *name) {
+        return workload::ProfileUopSource(
+            workload::spec2006::byName(name));
+    };
+    switch (index) {
+      case 0: {  // solo, power-of-two geometry everywhere
+        const Machine machine(MachineConfig::ivyBridge());
+        auto a = src("456.hmmer");
+        return {machine.runSolo(a, kWarmup, kMeasure)};
+      }
+      case 1: {  // SMT pair: shared L1/L2 contention
+        const Machine machine(MachineConfig::ivyBridge());
+        auto a = src("456.hmmer");
+        auto b = src("470.lbm");
+        return machine.runPairSmt(a, b, kWarmup, kMeasure);
+      }
+      case 2: {  // CMP pair: shared L3/DRAM only
+        const Machine machine(MachineConfig::ivyBridge());
+        auto a = src("429.mcf");
+        auto b = src("462.libquantum");
+        return machine.runPairCmp(a, b, kWarmup, kMeasure);
+      }
+      case 3: {  // ICOUNT fetch policy exercises the min-scan path
+        MachineConfig config = MachineConfig::ivyBridge();
+        config.core.fetchPolicy = FetchPolicy::kIcount;
+        const Machine machine(config);
+        auto a = src("403.gcc");
+        auto b = src("433.milc");
+        return machine.runPairSmt(a, b, kWarmup, kMeasure);
+      }
+      case 4: {  // inclusive L3 + L2 prefetch: invalidate()/probe() hot
+        MachineConfig config = MachineConfig::ivyBridge();
+        config.inclusiveL3 = true;
+        config.l2NextLinePrefetch = true;
+        const Machine machine(config);
+        auto a = src("470.lbm");
+        auto b = src("482.sphinx3");
+        return machine.runPairSmt(a, b, kWarmup, kMeasure);
+      }
+      case 5: {  // Sandy Bridge-EN: non-power-of-two L3 sets/ways,
+                 // four placements over two cores
+        const Machine machine(MachineConfig::sandyBridgeEN());
+        auto a = src("456.hmmer");
+        auto b = src("470.lbm");
+        auto c = src("401.bzip2");
+        auto d = src("429.mcf");
+        return machine.run({Placement{0, 0, &a}, Placement{0, 1, &b},
+                            Placement{1, 0, &c}, Placement{1, 1, &d}},
+                           kWarmup, kMeasure);
+      }
+      default:
+        throw std::logic_error("unknown scenario");
+    }
+}
+
+constexpr int kNumScenarios = 6;
+
+/**
+ * Seed-captured goldens. Captured from the pre-optimization model at
+ * commit d3f58f5 with SMITE_DUMP_GOLDEN=1; the optimized kernels must
+ * reproduce them exactly.
+ */
+const std::vector<GoldenScenario> &
+goldens()
+{
+    static const std::vector<GoldenScenario> kGolden = {
+        {"ivy_solo_hmmer",
+         {{12000, 14541, 1604, 924, 2236, 944, 1378, 2845, 3180, 1378, 865, 3, 4337, 221, 0, 434, 259, 175, 213, 6, 12, 3, 6362}}},
+        {"ivy_smt_hmmer_lbm",
+         {{12000, 14013, 1500, 846, 2050, 909, 1308, 2691, 2959, 1308, 807, 4, 3740, 527, 286, 431, 232, 199, 190, 5, 11, 3, 5334},
+          {12000, 7622, 1087, 2539, 1259, 621, 982, 647, 1880, 982, 71, 1, 2146, 716, 12, 720, 117, 603, 16, 1, 230, 102, 332}}},
+        {"ivy_cmp_mcf_libquantum",
+         {{12000, 3147, 189, 38, 511, 291, 216, 792, 802, 216, 367, 12, 164, 854, 23, 860, 235, 625, 29, 0, 561, 158, 2183},
+          {12000, 6954, 866, 463, 1298, 698, 1050, 1727, 1996, 1050, 880, 6, 2447, 599, 0, 689, 151, 538, 90, 2, 136, 68, 2741}}},
+        {"ivy_icount_gcc_milc",
+         {{12000, 7410, 801, 340, 1136, 535, 662, 1839, 1671, 662, 1142, 32, 1572, 761, 295, 579, 143, 436, 113, 4, 84, 33, 3841},
+          {12000, 6214, 1244, 1357, 965, 596, 525, 912, 1561, 525, 171, 0, 1158, 928, 97, 847, 214, 633, 16, 1, 389, 133, 447}}},
+        {"ivy_inclusive_prefetch_lbm_sphinx3",
+         {{12000, 8769, 1256, 2849, 1480, 678, 1145, 796, 2158, 1145, 78, 1, 2474, 829, 372, 473, 180, 293, 16, 1, 252, 127, 429},
+          {12000, 11950, 1802, 2561, 1779, 803, 622, 1803, 2582, 622, 503, 7, 1582, 1622, 447, 1191, 984, 207, 16, 1, 179, 54, 855}}},
+        {"sandy_quad_hmmer_lbm_bzip2_mcf",
+         {{12000, 14071, 1538, 866, 2106, 938, 1314, 2728, 3044, 1314, 816, 3, 3826, 532, 333, 391, 197, 194, 192, 5, 11, 3, 5328},
+          {12000, 8199, 1176, 2695, 1335, 681, 1050, 701, 2016, 1050, 78, 1, 2297, 769, 14, 771, 118, 653, 16, 1, 240, 115, 430},
+          {12000, 8058, 1242, 664, 1446, 717, 751, 2083, 2163, 751, 1138, 40, 1970, 944, 451, 565, 72, 493, 72, 2, 90, 29, 2967},
+          {12000, 4715, 312, 79, 777, 415, 294, 1148, 1192, 294, 588, 28, 179, 1307, 117, 1242, 635, 607, 52, 1, 843, 198, 2282}}},
+    };
+    return kGolden;
+}
+
+TEST(GoldenMachine, CountersMatchSeedBehavior)
+{
+    if (std::getenv("SMITE_DUMP_GOLDEN") != nullptr) {
+        // Regeneration mode: print the golden table source.
+        for (int s = 0; s < kNumScenarios; ++s) {
+            const auto results = runScenario(s);
+            std::printf("        {\"scenario_%d\",\n         {", s);
+            for (size_t p = 0; p < results.size(); ++p) {
+                const auto flat = flatten(results[p]);
+                std::printf("{");
+                for (int f = 0; f < kNumFields; ++f)
+                    std::printf("%llu%s",
+                                static_cast<unsigned long long>(flat[f]),
+                                f + 1 < kNumFields ? ", " : "");
+                std::printf("}%s", p + 1 < results.size() ? ",\n          "
+                                                          : "");
+            }
+            std::printf("}},\n");
+        }
+        GTEST_SKIP() << "golden dump mode; no comparison performed";
+    }
+
+    const auto &golden = goldens();
+    ASSERT_EQ(golden.size(), static_cast<size_t>(kNumScenarios));
+    for (int s = 0; s < kNumScenarios; ++s) {
+        SCOPED_TRACE(golden[s].name);
+        const auto results = runScenario(s);
+        ASSERT_EQ(results.size(), golden[s].expected.size());
+        for (size_t p = 0; p < results.size(); ++p) {
+            const auto flat = flatten(results[p]);
+            ASSERT_EQ(golden[s].expected[p].size(),
+                      static_cast<size_t>(kNumFields));
+            for (int f = 0; f < kNumFields; ++f) {
+                EXPECT_EQ(flat[f], golden[s].expected[p][f])
+                    << "placement " << p << " field " << kFieldNames[f];
+            }
+        }
+    }
+}
+
+/** Two consecutive runs of the same scenario must be bit-identical. */
+TEST(GoldenMachine, RepeatRunsAreIdentical)
+{
+    const auto first = runScenario(1);
+    const auto second = runScenario(1);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t p = 0; p < first.size(); ++p)
+        EXPECT_EQ(flatten(first[p]), flatten(second[p]));
+}
+
+} // namespace
+} // namespace smite::sim

@@ -30,6 +30,26 @@ TEST(Tlb, LruReplacement)
     EXPECT_FALSE(tlb.access(2));
 }
 
+/** Hits must maintain exact LRU order, not just save the last entry:
+ *  with 4 entries, the eviction sequence follows recency of use. */
+TEST(Tlb, LruOrderTracksHits)
+{
+    Tlb tlb(TlbConfig{4, 25});
+    for (Addr page = 0; page < 4; ++page)
+        tlb.access(page);
+    tlb.access(1);
+    tlb.access(0);
+    tlb.access(3);  // recency now 2 < 1 < 0 < 3
+    EXPECT_FALSE(tlb.access(10));  // evicts 2, the least recently used
+    // The survivors all hit (hits never evict)...
+    EXPECT_TRUE(tlb.access(1));
+    EXPECT_TRUE(tlb.access(0));
+    EXPECT_TRUE(tlb.access(3));
+    EXPECT_TRUE(tlb.access(10));
+    // ...and the predicted victim is the one page gone.
+    EXPECT_FALSE(tlb.access(2));
+}
+
 TEST(Tlb, FlushDropsTranslations)
 {
     Tlb tlb(TlbConfig{4, 25});
