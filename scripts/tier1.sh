@@ -82,6 +82,31 @@ CHAOS_DIR="$(mktemp -d)"
 rm -rf "$CHAOS_DIR"
 echo "chaos smoke: ok"
 
+# --- Online scheduler determinism gate ------------------------------
+# The online co-location policy under a pinned churn + observation-
+# noise plan must be a pure function of the armed seeds: two runs in
+# fresh directories — one with the default thread pool, one forced
+# serial — must produce byte-identical stdout (same pattern as the
+# chaos smoke; docs/ROBUSTNESS.md).
+ONLINE_PLAN='server.fail:p=0.05,seed=29;scheduler.observe:p=1,sigma=0.01,seed=31'
+ONL_A="$(mktemp -d)"
+ONL_B="$(mktemp -d)"
+(
+    cd "$ONL_A"
+    SMITE_FAULTS="$ONLINE_PLAN" \
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build/bench/bench_fig19_online_policy" > fig19.stdout
+)
+(
+    cd "$ONL_B"
+    SMITE_THREADS=1 SMITE_FAULTS="$ONLINE_PLAN" \
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build/bench/bench_fig19_online_policy" > fig19.stdout
+)
+cmp "$ONL_A/fig19.stdout" "$ONL_B/fig19.stdout"
+rm -rf "$ONL_A" "$ONL_B"
+echo "online scheduler determinism: ok"
+
 # --- Determinism check ---------------------------------------------
 # With SMITE_FAULTS unset, two runs in fresh directories must produce
 # byte-identical stdout — the fault layer at rest changes nothing.

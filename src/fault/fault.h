@@ -13,11 +13,13 @@
  *
  * Sites wired into the pipeline (see docs/ROBUSTNESS.md):
  *
- *   machine.jitter  Gaussian noise on simulated instruction counts
- *   lab.measure     transient MeasurementError from Lab computes
- *   disk.corrupt    bit flips / truncation / torn disk-cache appends
- *   pool.delay      artificial thread-pool task delays
- *   server.fail     cluster-model server failures
+ *   machine.jitter     Gaussian noise on simulated instruction counts
+ *   lab.measure        transient MeasurementError from Lab computes
+ *   disk.corrupt       bit flips / truncation / torn disk-cache appends
+ *   pool.delay         artificial thread-pool task delays
+ *   server.fail        cluster-model server failures
+ *   scheduler.observe  Gaussian noise on the online scheduler's
+ *                      per-server QoS observations
  *
  * Configuration comes from the SMITE_FAULTS environment variable
  * (parsed once, on first FaultPlan::global() use) or the arm() API:

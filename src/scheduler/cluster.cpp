@@ -1,10 +1,12 @@
 #include "scheduler/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
 #include "fault/fault.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workload/rng.h"
@@ -50,12 +52,14 @@ Cluster::Cluster(std::vector<Pairing> pairings,
 
 PolicyResult
 Cluster::finish(const std::string &name, double qos_target,
-                const std::vector<int> &instances) const
+                const std::vector<int> &instances,
+                int down_servers) const
 {
     PolicyResult result;
     result.policy = name;
     result.qosTarget = qos_target;
     result.servers = servers();
+    result.downServers = down_servers;
     result.contextsPerServer = contextsPerServer_;
     result.latencyThreads = latencyThreads_;
 
@@ -67,6 +71,8 @@ Cluster::finish(const std::string &name, double qos_target,
         const double actual = pairing.byInstances[k - 1].actualQos;
         ++result.coLocatedServers;
         result.totalInstances += k;
+        if (actual >= qos_target)
+            result.compliantInstances += k;
         if (actual < qos_target) {
             ++result.violatedServers;
             const double magnitude =
@@ -105,6 +111,18 @@ Cluster::predictedInstancesFor(std::size_t s, double target) const
             return k;
     }
     return 0;
+}
+
+bool
+Cluster::modelAdmitsOneMore(std::size_t s, double target,
+                            int current) const
+{
+    if (current >= maxInstances_)
+        return false;
+    // byInstances[k-1] describes k instances, so index `current` is
+    // the predicted QoS after placing one more.
+    return pairingOf(s).byInstances[static_cast<std::size_t>(current)]
+               .predictedQos >= target;
 }
 
 PolicyResult
@@ -173,15 +191,20 @@ Cluster::runPredictedPolicyWithFailures(double qos_target, int epochs,
         }
 
         // Re-place evicted instances onto surviving servers that the
-        // model still predicts can absorb one more, scanning round
-        // robin from the front (deterministic). Anything that fits
-        // nowhere is lost capacity.
+        // model still predicts can absorb one more — the predicted
+        // QoS at k+1 must meet the target, not merely the capacity
+        // bound — scanning round robin from the front
+        // (deterministic). Anything that fits nowhere admissible is
+        // lost capacity rather than a predicted violation.
         for (const int batch : evicted_batches) {
             for (int inst = 0; inst < batch; ++inst) {
                 bool placed = false;
                 for (size_t s = 0; s < assignment_.size(); ++s) {
-                    if (down[s] || instances[s] >= maxInstances_)
+                    if (down[s] ||
+                        !modelAdmitsOneMore(s, qos_target,
+                                            instances[s])) {
                         continue;
+                    }
                     ++instances[s];
                     replacements.add();
                     placed = true;
@@ -193,9 +216,12 @@ Cluster::runPredictedPolicyWithFailures(double qos_target, int epochs,
         }
     }
 
-    // Downed servers host nothing in the final accounting; crowding
-    // on the survivors surfaces as QoS violations in finish().
-    return finish(name, qos_target, instances);
+    // Servers still down in the final epoch host nothing and run no
+    // latency threads; finish() excludes them from the busy-context
+    // accounting.
+    const int down_servers = static_cast<int>(
+        std::count(down.begin(), down.end(), true));
+    return finish(name, qos_target, instances, down_servers);
 }
 
 PolicyResult
@@ -230,7 +256,7 @@ Cluster::runRandomPolicy(double qos_target, double match_instances,
             static_cast<int>(rng.nextBelow(maxInstances_ + 1));
         total += instances[s];
     }
-    const auto want = static_cast<std::int64_t>(match_instances);
+    const std::int64_t want = std::llround(match_instances);
     std::uint64_t guard = 0;
     const std::uint64_t guard_limit = 100ull * assignment_.size();
     while (total != want && guard++ < guard_limit) {
@@ -242,6 +268,15 @@ Cluster::runRandomPolicy(double qos_target, double match_instances,
             --instances[s];
             --total;
         }
+    }
+    if (total != want) {
+        // Returning a mismatched total silently would skew the
+        // matched-utilization comparison the Random policy exists
+        // for; the divergence is absorbed but must stay auditable.
+        obs::IncidentLog::global().record(
+            "scheduler: random policy nudge loop hit guard limit at " +
+            std::to_string(total) + " instances (target " +
+            std::to_string(want) + ")");
     }
     return finish("Random", qos_target, instances);
 }

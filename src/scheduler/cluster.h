@@ -54,19 +54,27 @@ struct PolicyResult {
     int servers = 0;
     int coLocatedServers = 0;
     int violatedServers = 0;
+    int downServers = 0;         ///< servers down in the final epoch
     double totalInstances = 0;   ///< sum of co-located batch instances
+    double compliantInstances = 0; ///< instances on non-violating servers
     double sumViolation = 0;     ///< sum of (target-actual)/target
     double maxViolation = 0;     ///< worst normalized violation
 
     int contextsPerServer = 12;
     int latencyThreads = 6;
 
-    /** Cluster utilization: busy contexts / all contexts. */
+    /**
+     * Cluster utilization: busy contexts / all contexts. Servers down
+     * in the final epoch run nothing — neither their latency threads
+     * nor batch instances count as busy (their contexts still count
+     * as owned capacity in the denominator).
+     */
     double
     utilization() const
     {
         const double busy =
-            static_cast<double>(servers) * latencyThreads +
+            static_cast<double>(servers - downServers) *
+                latencyThreads +
             totalInstances;
         return busy / (static_cast<double>(servers) * contextsPerServer);
     }
@@ -78,6 +86,32 @@ struct PolicyResult {
         const double base = static_cast<double>(latencyThreads) /
                             contextsPerServer;
         return (utilization() - base) / base;
+    }
+
+    /**
+     * Goodput utilization: like utilization(), but batch instances
+     * co-located on QoS-violating servers count as wasted work — an
+     * operator must kill (or never should have placed) them. An
+     * over-packing policy can beat a compliant one on raw
+     * utilization; it cannot on goodput.
+     */
+    double
+    goodputUtilization() const
+    {
+        const double busy =
+            static_cast<double>(servers - downServers) *
+                latencyThreads +
+            compliantInstances;
+        return busy / (static_cast<double>(servers) * contextsPerServer);
+    }
+
+    /** Relative goodput improvement over the no-SMT baseline. */
+    double
+    goodputImprovement() const
+    {
+        const double base = static_cast<double>(latencyThreads) /
+                            contextsPerServer;
+        return (goodputUtilization() - base) / base;
     }
 
     /** Fraction of co-located servers violating the target. */
@@ -141,15 +175,17 @@ class Cluster
      * The predicted policy under server failures: run @p epochs
      * decision epochs; in each, servers marked down by the
      * `server.fail` fault site (src/fault) evict their batch
-     * instances, which the scheduler re-places onto surviving
-     * servers with spare contexts (instances beyond cluster capacity
-     * are lost); downed servers recover at the start of the next
-     * epoch and are re-filled by the policy. Placement drift is
-     * tracked via the `scheduler.server_failures` / `.evictions` /
-     * `.replacements` / `.lost_instances` / `.recoveries` counters,
-     * and the result reflects the final epoch's placement — QoS
-     * violations caused by failure-driven crowding included. With no
-     * faults armed this is runPredictedPolicy(), byte-identical.
+     * instances, which the scheduler re-places *policy-aware* onto
+     * surviving servers the model still predicts can absorb one more
+     * instance (predictedQos at k+1 must meet the target); evictions
+     * that fit nowhere admissible are counted as lost capacity.
+     * Downed servers recover at the start of the next epoch and are
+     * re-filled by the policy. Placement drift is tracked via the
+     * `scheduler.server_failures` / `.evictions` / `.replacements` /
+     * `.lost_instances` / `.recoveries` counters, and the result
+     * reflects the final epoch's placement, with servers still down
+     * in that epoch excluded from the busy-context accounting. With
+     * no faults armed this is runPredictedPolicy(), byte-identical.
      */
     PolicyResult
     runPredictedPolicyWithFailures(double qos_target, int epochs,
@@ -183,15 +219,32 @@ class Cluster
     }
 
   private:
+    friend class OnlineScheduler;
+
     struct ServerSlot {
         int pairing;  ///< index into pairings_
     };
 
     PolicyResult finish(const std::string &name, double qos_target,
-                        const std::vector<int> &instances) const;
+                        const std::vector<int> &instances,
+                        int down_servers = 0) const;
 
     /** Largest k meeting @p target by prediction on server @p s. */
     int predictedInstancesFor(std::size_t s, double target) const;
+
+    /**
+     * True when the model predicts server @p s can absorb one more
+     * batch instance on top of @p current: capacity remains and the
+     * predicted QoS at current+1 still meets @p target.
+     */
+    bool modelAdmitsOneMore(std::size_t s, double target,
+                            int current) const;
+
+    /** The pairing table assigned to server @p s. */
+    const Pairing &pairingOf(std::size_t s) const
+    {
+        return pairings_[assignment_[s].pairing];
+    }
 
     std::vector<Pairing> pairings_;
     std::vector<std::string> latencyApps_;

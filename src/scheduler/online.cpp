@@ -1,0 +1,267 @@
+#include "scheduler/online.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace smite::scheduler {
+
+namespace {
+
+/** The per-(epoch, server) fault key, shared with the static loop so
+ * both policies replay the identical churn trace. */
+std::string
+epochKey(int epoch, std::size_t server)
+{
+    return "epoch" + std::to_string(epoch) + "#server" +
+           std::to_string(server);
+}
+
+} // namespace
+
+OnlineScheduler::OnlineScheduler(const Cluster &cluster,
+                                 OnlineConfig config)
+    : cluster_(cluster), config_(config)
+{
+    if (config_.epochs < 1)
+        throw std::invalid_argument("epochs must be positive");
+    if (config_.probeBudget <= 0)
+        config_.probeBudget = std::max(1, cluster_.servers() / 4);
+    if (config_.headroom < 0.0)
+        throw std::invalid_argument("headroom must be non-negative");
+}
+
+OnlineResult
+OnlineScheduler::run(double qos_target, const std::string &name) const
+{
+    obs::Span span("scheduler.policy", name);
+
+    obs::Registry &registry = obs::Registry::global();
+    obs::Counter &epochs_run =
+        registry.counter("scheduler.online.epochs");
+    obs::Counter &observations =
+        registry.counter("scheduler.online.observations");
+    obs::Counter &observed_violations =
+        registry.counter("scheduler.online.observed_violations");
+    obs::Counter &qos_evictions =
+        registry.counter("scheduler.online.qos_evictions");
+    obs::Counter &probes = registry.counter("scheduler.online.probes");
+    obs::Gauge &util_gauge =
+        registry.gauge("scheduler.online.utilization");
+    // The failure/recovery flow shares the static loop's counters:
+    // the churn is the same phenomenon under either policy.
+    obs::Counter &failures =
+        registry.counter("scheduler.server_failures");
+    obs::Counter &fail_evictions =
+        registry.counter("scheduler.evictions");
+    obs::Counter &replacements =
+        registry.counter("scheduler.replacements");
+    obs::Counter &lost = registry.counter("scheduler.lost_instances");
+    obs::Counter &recoveries = registry.counter("scheduler.recoveries");
+
+    fault::FaultPlan &faults = fault::FaultPlan::global();
+    const bool observe_noise =
+        faults.enabled() && faults.armed("scheduler.observe");
+
+    const std::size_t n = static_cast<std::size_t>(cluster_.servers());
+    const int max_instances = cluster_.maxInstances();
+
+    // Start from the static predicted placement; everything after is
+    // reaction to observations.
+    std::vector<int> instances(n, 0);
+    for (std::size_t s = 0; s < n; ++s)
+        instances[s] = cluster_.predictedInstancesFor(s, qos_target);
+
+    // What the policy has learned: the largest instance count each
+    // server has not been observed violating at. Caps only shrink, so
+    // the placement converges instead of oscillating around the
+    // oracle's count.
+    std::vector<int> cap(n, max_instances);
+    // Last observation, used to let churn re-placement target servers
+    // the model under-rates but observation cleared for one more:
+    // valid only while the server still runs the observed count.
+    std::vector<double> observed_slack(n, 0.0);
+    std::vector<int> observed_at(n, -1);
+
+    std::vector<bool> down(n, false);
+    OnlineResult result;
+    result.timeline.reserve(static_cast<std::size_t>(config_.epochs));
+
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        EpochStats stats;
+        stats.epoch = epoch;
+        epochs_run.add();
+
+        // 1. Recovery: downed servers rejoin and are re-filled with
+        // the policy placement, bounded by the learned cap.
+        for (std::size_t s = 0; s < n; ++s) {
+            if (!down[s])
+                continue;
+            down[s] = false;
+            instances[s] =
+                std::min(cluster_.predictedInstancesFor(s, qos_target),
+                         cap[s]);
+            observed_at[s] = -1;
+            recoveries.add();
+            ++stats.recoveries;
+        }
+
+        // 2. Failures, keyed per (epoch, server) exactly like the
+        // static loop: a pure function of the armed seed.
+        std::vector<int> evicted_batches;
+        for (std::size_t s = 0; s < n; ++s) {
+            if (!faults.enabled() ||
+                !faults.shouldInject("server.fail", epochKey(epoch, s)))
+                continue;
+            down[s] = true;
+            failures.add();
+            ++stats.failures;
+            if (instances[s] > 0) {
+                fail_evictions.add(
+                    static_cast<std::uint64_t>(instances[s]));
+                stats.failureEvictions += instances[s];
+                evicted_batches.push_back(instances[s]);
+            }
+            instances[s] = 0;
+            observed_at[s] = -1;
+        }
+
+        // 3. Policy-aware re-placement of the evicted instances:
+        // survivors below their learned cap that either the model
+        // admits at k+1 or the last observation cleared with probe
+        // headroom at the current count. Round robin from the front,
+        // deterministic; the remainder is lost capacity.
+        for (const int batch : evicted_batches) {
+            for (int inst = 0; inst < batch; ++inst) {
+                bool placed = false;
+                for (std::size_t s = 0; s < n; ++s) {
+                    if (down[s] || instances[s] >= cap[s] ||
+                        instances[s] >= max_instances)
+                        continue;
+                    const bool model_ok = cluster_.modelAdmitsOneMore(
+                        s, qos_target, instances[s]);
+                    const bool observed_ok =
+                        observed_at[s] == instances[s] &&
+                        observed_slack[s] >= config_.headroom;
+                    if (!model_ok && !observed_ok)
+                        continue;
+                    ++instances[s];
+                    replacements.add();
+                    ++stats.replacements;
+                    placed = true;
+                    break;
+                }
+                if (!placed) {
+                    lost.add();
+                    ++stats.lostInstances;
+                }
+            }
+        }
+
+        // 4. Observe every live co-location's actual QoS (optionally
+        // through the scheduler.observe noise site) and evict one
+        // instance from every server observed below target, shrinking
+        // its learned cap so the count is never retried.
+        for (std::size_t s = 0; s < n; ++s) {
+            if (down[s] || instances[s] <= 0)
+                continue;
+            const std::size_t k =
+                static_cast<std::size_t>(instances[s]);
+            double observed =
+                cluster_.pairingOf(s).byInstances[k - 1].actualQos;
+            if (observe_noise) {
+                const std::string key = epochKey(epoch, s);
+                if (faults.shouldInject("scheduler.observe", key)) {
+                    observed *= std::max(
+                        0.0,
+                        1.0 + faults.gaussian("scheduler.observe", key));
+                }
+            }
+            observations.add();
+            if (observed < qos_target) {
+                observed_violations.add();
+                ++stats.observedViolations;
+                qos_evictions.add();
+                ++stats.qosEvictions;
+                --instances[s];
+                cap[s] = std::min(cap[s], instances[s]);
+                observed_at[s] = -1;
+            } else {
+                observed_slack[s] = observed - qos_target;
+                observed_at[s] = instances[s];
+            }
+        }
+
+        // 5. Probe: place one more instance on the servers with the
+        // most observed headroom (never-colocated servers probe last,
+        // from zero), up to the per-epoch budget — but not in the
+        // final epoch, so every probe is observed at least once
+        // before the run is scored.
+        if (epoch < config_.epochs - 1) {
+            struct Candidate {
+                std::size_t server;
+                double slack;
+            };
+            std::vector<Candidate> candidates;
+            for (std::size_t s = 0; s < n; ++s) {
+                if (down[s] || instances[s] >= cap[s] ||
+                    instances[s] >= max_instances)
+                    continue;
+                if (instances[s] == 0) {
+                    candidates.push_back(Candidate{s, 0.0});
+                } else if (observed_at[s] == instances[s] &&
+                           observed_slack[s] >= config_.headroom) {
+                    candidates.push_back(
+                        Candidate{s, observed_slack[s]});
+                }
+            }
+            std::sort(candidates.begin(), candidates.end(),
+                      [](const Candidate &a, const Candidate &b) {
+                          if (a.slack != b.slack)
+                              return a.slack > b.slack;
+                          return a.server < b.server;
+                      });
+            const std::size_t budget = std::min(
+                candidates.size(),
+                static_cast<std::size_t>(config_.probeBudget));
+            for (std::size_t i = 0; i < budget; ++i) {
+                const std::size_t s = candidates[i].server;
+                ++instances[s];
+                observed_at[s] = -1;
+                probes.add();
+                ++stats.probes;
+            }
+        }
+
+        // Epoch bookkeeping for the timeline and gauges.
+        int down_count = 0;
+        double total = 0.0;
+        for (std::size_t s = 0; s < n; ++s) {
+            down_count += down[s] ? 1 : 0;
+            total += instances[s];
+        }
+        stats.liveServers = static_cast<int>(n) - down_count;
+        stats.totalInstances = total;
+        stats.utilization =
+            (static_cast<double>(stats.liveServers) *
+                 cluster_.latencyThreads_ +
+             total) /
+            (static_cast<double>(n) * cluster_.contextsPerServer_);
+        util_gauge.set(stats.utilization);
+        result.timeline.push_back(stats);
+    }
+
+    int down_servers = 0;
+    for (std::size_t s = 0; s < n; ++s)
+        down_servers += down[s] ? 1 : 0;
+    result.final =
+        cluster_.finish(name, qos_target, instances, down_servers);
+    return result;
+}
+
+} // namespace smite::scheduler

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Online, metrics-driven co-location scheduler.
+ *
+ * The static policies in cluster.h decide once, from the model's
+ * predictions, and never look back — a mispredicted pairing violates
+ * its QoS target forever, and a conservatively predicted one wastes
+ * contexts forever. Production schedulers do neither: they watch the
+ * QoS the co-locations actually deliver and adjust (cf. Navarro et
+ * al.'s dynamic thread-to-core allocation and Subramanian et al.'s
+ * slowdown-estimation-driven resource control). The OnlineScheduler
+ * closes that loop over the same per-(latency, batch, k) QoS tables:
+ *
+ * Each decision epoch it
+ *   1. recovers servers downed in the previous epoch and re-fills
+ *      them with the policy's placement (bounded by what it has
+ *      learned about the server's pairing),
+ *   2. downs servers via the `server.fail` fault site — keyed
+ *      identically to Cluster::runPredictedPolicyWithFailures, so the
+ *      static and online policies can be compared under the exact
+ *      same churn trace,
+ *   3. re-places the evicted batch instances onto survivors it
+ *      believes can absorb one more (model-admissible, or observed
+ *      running with headroom),
+ *   4. *observes* the actual QoS of every co-location — optionally
+ *      perturbed by the `scheduler.observe` fault site, the analogue
+ *      of noisy production latency telemetry — and evicts one
+ *      instance from every server observed below target, capping the
+ *      learned admissible count for that server, and
+ *   5. probes one additional instance on up to `probeBudget` servers
+ *      observed with at least `headroom` QoS slack (never in the
+ *      final epoch, so every probe gets observed at least once).
+ *
+ * Convergence: per-server learned caps only shrink, and shrink
+ * exactly when an observation contradicts the current count, so with
+ * noise-free observations the placement converges to the oracle's
+ * (largest k with actual QoS >= target) and stays there. Observation
+ * noise can only make the caps conservative.
+ *
+ * Every step publishes `scheduler.online.*` counters/gauges through
+ * src/obs (catalog in docs/OBSERVABILITY.md) and appends an
+ * EpochStats row to the returned timeline, which harnesses fold into
+ * the run report. The whole loop is serial and every fault decision
+ * is keyed, so a run is byte-deterministic for a given SMITE_FAULTS
+ * seed regardless of SMITE_THREADS.
+ */
+
+#ifndef SMITE_SCHEDULER_ONLINE_H
+#define SMITE_SCHEDULER_ONLINE_H
+
+#include <string>
+#include <vector>
+
+#include "scheduler/cluster.h"
+
+namespace smite::scheduler {
+
+/** Tuning knobs of the online policy. */
+struct OnlineConfig {
+    /** Decision epochs to run (must be positive). */
+    int epochs = 20;
+    /**
+     * Max probe placements per epoch; 0 derives servers/4. Bounding
+     * the probe rate bounds how much QoS risk one epoch can add.
+     */
+    int probeBudget = 0;
+    /**
+     * Observed QoS slack above the target required before a server
+     * is probed with one more instance.
+     */
+    double headroom = 0.02;
+};
+
+/** Telemetry of one OnlineScheduler decision epoch. */
+struct EpochStats {
+    int epoch = 0;             ///< epoch index, 0-based
+    int failures = 0;          ///< servers downed this epoch
+    int recoveries = 0;        ///< servers recovered at epoch start
+    int failureEvictions = 0;  ///< instances evicted by failures
+    int replacements = 0;      ///< evicted instances re-placed
+    int lostInstances = 0;     ///< evicted instances lost
+    int observedViolations = 0;///< observations below target
+    int qosEvictions = 0;      ///< instances evicted on observed QoS
+    int probes = 0;            ///< probe instances placed
+    int liveServers = 0;       ///< servers up at epoch end
+    double totalInstances = 0; ///< batch instances at epoch end
+    double utilization = 0;    ///< live-cluster utilization at end
+};
+
+/** Final placement plus the per-epoch trajectory that produced it. */
+struct OnlineResult {
+    /** Final-epoch accounting, comparable to the static policies. */
+    PolicyResult final;
+    /** One row per decision epoch, in order. */
+    std::vector<EpochStats> timeline;
+};
+
+/**
+ * The time-stepped policy loop. Holds a reference to the Cluster
+ * whose pairings it schedules over; the Cluster must outlive it.
+ */
+class OnlineScheduler
+{
+  public:
+    explicit OnlineScheduler(const Cluster &cluster,
+                             OnlineConfig config = {});
+
+    /**
+     * Run the epoch loop against @p qos_target. Starts from the
+     * static predicted placement, then observes and adjusts as
+     * described in the file header. The returned PolicyResult scores
+     * the final epoch's placement against *actual* QoS, exactly like
+     * the static policies, so the three are directly comparable.
+     */
+    OnlineResult run(double qos_target,
+                     const std::string &name = "SMiTe-online") const;
+
+  private:
+    const Cluster &cluster_;
+    OnlineConfig config_;
+};
+
+} // namespace smite::scheduler
+
+#endif // SMITE_SCHEDULER_ONLINE_H

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "scheduler/cluster.h"
+#include "scheduler/online.h"
 
 namespace smite::scheduler {
 namespace {
@@ -150,6 +151,116 @@ TEST(PolicyResult, ViolationRateHandlesNoCoLocations)
     PolicyResult r;
     EXPECT_EQ(r.violationRate(), 0.0);
     EXPECT_EQ(r.meanInstances(), 0.0);
+}
+
+TEST(PolicyResult, DownServersAreNotCountedBusy)
+{
+    PolicyResult r;
+    r.servers = 100;
+    r.totalInstances = 0;
+    // All servers up: the half-loaded baseline.
+    EXPECT_NEAR(r.utilization(), 0.5, 1e-12);
+    // Ten servers down run no latency threads.
+    r.downServers = 10;
+    EXPECT_NEAR(r.utilization(), 90.0 * 6 / (100.0 * 12), 1e-12);
+}
+
+TEST(PolicyResult, GoodputExcludesViolatingInstances)
+{
+    PolicyResult r;
+    r.servers = 10;
+    r.totalInstances = 30;
+    r.compliantInstances = 12;
+    EXPECT_NEAR(r.utilization(), (60.0 + 30) / 120, 1e-12);
+    EXPECT_NEAR(r.goodputUtilization(), (60.0 + 12) / 120, 1e-12);
+    EXPECT_LT(r.goodputImprovement(), r.utilizationImprovement());
+}
+
+TEST(Cluster, RandomPolicyRoundsMatchTargetInsteadOfTruncating)
+{
+    const Cluster cluster = simpleCluster(0.02, 0.02, 100);
+    // 10.6 must round to 11 instances, not truncate to 10.
+    const auto r = cluster.runRandomPolicy(0.90, 10.6);
+    EXPECT_EQ(r.totalInstances, 11.0);
+}
+
+TEST(OnlineScheduler, RejectsBadConfiguration)
+{
+    const Cluster cluster = simpleCluster(0.02, 0.02, 10);
+    EXPECT_THROW(OnlineScheduler(cluster, OnlineConfig{.epochs = 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(OnlineScheduler(cluster,
+                                 OnlineConfig{.headroom = -0.1}),
+                 std::invalid_argument);
+}
+
+TEST(OnlineScheduler, StableUnderPerfectPrediction)
+{
+    // Accurate model, no churn, no observation slack: the online
+    // policy has nothing to react to and must keep the static
+    // placement in every epoch.
+    const Cluster cluster = simpleCluster(0.02, 0.02, 80);
+    const auto fixed = cluster.runPredictedPolicy(0.90);
+    const OnlineScheduler online(cluster, OnlineConfig{.epochs = 8});
+    const auto result = online.run(0.90);
+    EXPECT_EQ(result.final.totalInstances, fixed.totalInstances);
+    EXPECT_EQ(result.final.violatedServers, 0);
+    ASSERT_EQ(result.timeline.size(), 8u);
+    for (const EpochStats &e : result.timeline) {
+        EXPECT_EQ(e.qosEvictions, 0);
+        EXPECT_EQ(e.probes, 0);
+        EXPECT_EQ(e.failures, 0);
+        EXPECT_EQ(e.totalInstances, fixed.totalInstances);
+    }
+}
+
+TEST(OnlineScheduler, EvictsDownToOracleOnOptimisticPrediction)
+{
+    // Model claims 1%/instance, reality is 5%: the static policy
+    // admits 6 everywhere and violates everywhere; the online policy
+    // observes the violations, evicts one instance per epoch and
+    // converges on the oracle's count (2 at target 0.90).
+    const Cluster cluster = simpleCluster(0.05, 0.01, 50);
+    const auto fixed = cluster.runPredictedPolicy(0.90);
+    const auto oracle = cluster.runOraclePolicy(0.90);
+    EXPECT_EQ(fixed.violatedServers, fixed.coLocatedServers);
+    const OnlineScheduler online(cluster, OnlineConfig{.epochs = 12});
+    const auto result = online.run(0.90);
+    EXPECT_EQ(result.final.totalInstances, oracle.totalInstances);
+    EXPECT_EQ(result.final.violatedServers, 0);
+    EXPECT_GT(result.timeline.front().qosEvictions, 0);
+    EXPECT_EQ(result.timeline.back().qosEvictions, 0);
+}
+
+TEST(OnlineScheduler, ProbesUpToOracleOnPessimisticPrediction)
+{
+    // Model claims 5%/instance, reality is 1%: the static policy
+    // wastes contexts at 2 instances; probing discovers the oracle's
+    // 6 (actual QoS 0.94 >= 0.90, and headroom 0.04 >= 0.02 keeps
+    // the probe chain going).
+    const Cluster cluster = simpleCluster(0.01, 0.05, 40);
+    const auto fixed = cluster.runPredictedPolicy(0.90);
+    const auto oracle = cluster.runOraclePolicy(0.90);
+    EXPECT_LT(fixed.totalInstances, oracle.totalInstances);
+    const OnlineScheduler online(
+        cluster, OnlineConfig{.epochs = 12, .probeBudget = 40});
+    const auto result = online.run(0.90);
+    EXPECT_EQ(result.final.totalInstances, oracle.totalInstances);
+    EXPECT_EQ(result.final.violatedServers, 0);
+    EXPECT_GT(result.timeline.front().probes, 0);
+    // Converged: the last epochs neither probe nor evict.
+    EXPECT_EQ(result.timeline.back().probes, 0);
+    EXPECT_EQ(result.timeline.back().qosEvictions, 0);
+}
+
+TEST(OnlineScheduler, ProbeBudgetBoundsPerEpochRisk)
+{
+    const Cluster cluster = simpleCluster(0.01, 0.05, 60);
+    const OnlineScheduler online(
+        cluster, OnlineConfig{.epochs = 6, .probeBudget = 7});
+    const auto result = online.run(0.90);
+    for (const EpochStats &e : result.timeline)
+        EXPECT_LE(e.probes, 7);
 }
 
 } // namespace
