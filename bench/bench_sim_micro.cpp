@@ -86,10 +86,13 @@ struct Reporter {
     }
 };
 
+/** Co-location shape of a machine-throughput benchmark. */
+enum class Shape { kSolo, kSmtPair, kCmpPair };
+
 /** Simulated-cycles/uops throughput of one placement shape. */
 void
 benchMachine(Reporter &out, const char *tag, sim::Cycle cycles,
-             int iters, bool pair)
+             int iters, Shape shape)
 {
     const sim::Machine machine(sim::MachineConfig::ivyBridge());
     workload::ProfileUopSource a(
@@ -100,12 +103,20 @@ benchMachine(Reporter &out, const char *tag, sim::Cycle cycles,
     const double seconds = medianSeconds([&] {
         uops = 0;
         for (int i = 0; i < iters; ++i) {
-            if (pair) {
+            switch (shape) {
+              case Shape::kSolo:
+                uops += machine.runSolo(a, 0, cycles).uops;
+                break;
+              case Shape::kSmtPair:
                 for (const auto &c :
                      machine.runPairSmt(a, b, 0, cycles))
                     uops += c.uops;
-            } else {
-                uops += machine.runSolo(a, 0, cycles).uops;
+                break;
+              case Shape::kCmpPair:
+                for (const auto &c :
+                     machine.runPairCmp(a, b, 0, cycles))
+                    uops += c.uops;
+                break;
             }
         }
     });
@@ -134,10 +145,14 @@ main(int argc, char **argv)
     // Machine throughput: the headline numbers. 50k-cycle runs are
     // the shape every Lab measurement takes; 10k-cycle runs keep the
     // fixed per-run setup cost (construction + prewarm) visible.
-    benchMachine(out, "solo_50k", 50'000, 4, /*pair=*/false);
-    benchMachine(out, "solo_10k", 10'000, 10, /*pair=*/false);
-    benchMachine(out, "pair_50k", 50'000, 2, /*pair=*/true);
-    benchMachine(out, "pair_10k", 10'000, 8, /*pair=*/true);
+    benchMachine(out, "solo_50k", 50'000, 4, Shape::kSolo);
+    benchMachine(out, "solo_10k", 10'000, 10, Shape::kSolo);
+    benchMachine(out, "pair_50k", 50'000, 2, Shape::kSmtPair);
+    benchMachine(out, "pair_10k", 10'000, 8, Shape::kSmtPair);
+    // CMP pair: two cores, one context each — the multi-core shape
+    // whose wake-list behavior differs most from the SMT pair (cores
+    // can sleep independently).
+    benchMachine(out, "cmp_pair", 50'000, 2, Shape::kCmpPair);
 
     // Cache lookup: hit-heavy pseudo-random pattern over an L2-sized
     // array, the single hottest comparison loop in the simulator.

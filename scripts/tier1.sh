@@ -130,7 +130,9 @@ echo "determinism: ok"
 # tolerance is deliberately generous: machine-to-machine variance
 # passes, an accidental hot-path regression of the simulator (the
 # quantity BENCH_sim.json exists to pin) fails with the exact metric
-# that moved.
+# that moved. Coverage spans every committed metric — solo, SMT-pair
+# and CMP-pair machine shapes (cmp_pair exercises the multi-core
+# wake list) plus the cache/TLB/trace/fit kernels.
 PERF_DIR="$(mktemp -d)"
 (
     cd "$PERF_DIR"

@@ -18,6 +18,8 @@
  *   disk.corrupt       bit flips / truncation / torn disk-cache appends
  *   pool.delay         artificial thread-pool task delays
  *   server.fail        cluster-model server failures
+ *   des.service        Gaussian stretch of queueing-model service
+ *                      times (tail-latency chaos)
  *   scheduler.observe  Gaussian noise on the online scheduler's
  *                      per-server QoS observations
  *

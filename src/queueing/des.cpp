@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fault/fault.h"
 #include "workload/rng.h"
 
 namespace smite::queueing {
@@ -50,6 +51,14 @@ simulateMm1(double lambda, double mu, std::uint64_t requests,
         return -std::log(1.0 - rng.nextDouble()) / rate;
     };
 
+    // `des.service` fault site: real servers hiccup — GC pauses, page
+    // faults, noisy neighbors stretch individual request service
+    // times. Seeded Gaussian stretch per sampled service time, so
+    // chaos runs of the tail-latency pipeline are reproducible and a
+    // disarmed plan leaves the RNG stream untouched.
+    fault::FaultPlan &faults = fault::FaultPlan::global();
+    const bool chaos = faults.enabled() && faults.armed("des.service");
+
     QueueSimResult result;
     if (requests > warmupRequests)
         result.responseTimes.reserve(requests - warmupRequests);
@@ -61,7 +70,15 @@ simulateMm1(double lambda, double mu, std::uint64_t requests,
     for (std::uint64_t n = 0; n < requests; ++n) {
         arrival += exponential(lambda);
         const double start = std::max(arrival, prev_departure);
-        const double departure = start + exponential(mu);
+        double service = exponential(mu);
+        if (chaos && faults.shouldInject("des.service")) {
+            // Stretch only (floor at the sampled time): a hiccup never
+            // makes a request finish early.
+            const double eps =
+                std::max(0.0, faults.gaussianNext("des.service"));
+            service *= 1.0 + eps;
+        }
+        const double departure = start + service;
         prev_departure = departure;
         if (n >= warmupRequests)
             result.responseTimes.push_back(departure - arrival);

@@ -178,6 +178,15 @@ SetAssocCache::AccessResult
 SetAssocCache::access(Addr line, bool write)
 {
     AccessResult result;
+    // Repeat of the immediately preceding access: the line is the
+    // array's MRU way, so this is a hit whose stamp refresh is
+    // order-preserving dead work (see lastLine_) — skip it all.
+    if (line == lastLine_) {
+        if (write)
+            dirty_[lastIdx_] = 1;
+        result.hit = true;
+        return result;
+    }
     const std::uint64_t set = setIndex(line);
     const std::size_t base = static_cast<std::size_t>(set) * assoc_;
     const Addr *tags = tags_.data() + base;
@@ -189,6 +198,8 @@ SetAssocCache::access(Addr line, bool write)
         lastUse_[base + ways.hit] = useClock_;
         if (write)
             dirty_[base + ways.hit] = 1;
+        lastLine_ = line;
+        lastIdx_ = base + ways.hit;
         result.hit = true;
         return result;
     }
@@ -228,6 +239,8 @@ SetAssocCache::access(Addr line, bool write)
     tags_[v] = line;
     lastUse_[v] = useClock_;
     dirty_[v] = static_cast<std::uint8_t>(write);
+    lastLine_ = line;
+    lastIdx_ = v;
     return result;
 }
 
@@ -279,7 +292,47 @@ SetAssocCache::insertAbsent(Addr line)
     tags_[v] = line;
     lastUse_[v] = useClock_;
     dirty_[v] = 0;
+    // The insert may have evicted the memoized line; the new line is
+    // now the MRU way, so point the memo at it.
+    lastLine_ = line;
+    lastIdx_ = v;
     return result;
+}
+
+void
+SetAssocCache::insertAbsentRange(Addr line, std::uint64_t count)
+{
+    // The fast loop needs set = line & mask so consecutive lines walk
+    // consecutive sets; non-power-of-two geometries take the slow path.
+    if (!setsPow2_) {
+        for (std::uint64_t k = 0; k < count; ++k)
+            insertAbsent(line + k);
+        return;
+    }
+    const int assoc = assoc_;
+    for (std::uint64_t k = 0; k < count; ++k) {
+        const Addr l = line + k;
+        const std::uint64_t set = l & setMask_;
+        const std::uint8_t fill = fillWays_[set];
+        // fill < assoc implies the prefix invariant holds (kNoPrefix
+        // exceeds any real associativity) and way `fill` is empty, so
+        // this insert cannot evict: it is exactly the insertAbsent()
+        // prefix path with the victim known up front.
+        if (fill < assoc) {
+            const std::size_t v =
+                static_cast<std::size_t>(set) * assoc + fill;
+            fillWays_[set] = fill + 1;
+            tags_[v] = l;
+            lastUse_[v] = ++useClock_;
+            // dirty_[v] is already 0: a way beyond the fill prefix was
+            // either never valid or was invalidated as the last prefix
+            // way, and both paths leave the dirty bit cleared.
+            lastLine_ = l;
+            lastIdx_ = v;
+        } else {
+            insertAbsent(l);
+        }
+    }
 }
 
 bool
@@ -301,6 +354,7 @@ SetAssocCache::invalidate(Addr line)
     tags_[base + w] = kNoTag;
     lastUse_[base + w] = 0;
     dirty_[base + w] = 0;
+    lastLine_ = kNoTag;  // the memo may point at the dropped line
     // Dropping the last prefix way just shortens the prefix; a hole
     // anywhere else breaks it for good (until flush).
     const std::uint8_t fill = fillWays_[set];
@@ -318,6 +372,8 @@ SetAssocCache::flush()
     fillWays_.assign(fillWays_.size(),
                      assoc_ < kNoPrefix ? std::uint8_t{0} : kNoPrefix);
     useClock_ = 0;
+    lastLine_ = kNoTag;
+    lastIdx_ = 0;
 }
 
 } // namespace smite::sim

@@ -72,6 +72,16 @@ class SetAssocCache
      */
     AccessResult insertAbsent(Addr line);
 
+    /**
+     * insertAbsent() for @p count consecutive lines starting at
+     * @p line, with state identical to the per-line loop. Consecutive
+     * lines land in consecutive sets, so while the prefix-fill
+     * invariant holds the whole batch reduces to sequential stores —
+     * no per-line call or eviction bookkeeping. Sets that are full
+     * (or have a broken prefix) fall back to insertAbsent().
+     */
+    void insertAbsentRange(Addr line, std::uint64_t count);
+
     /** Non-mutating lookup: is the line present? */
     bool probe(Addr line) const;
 
@@ -114,6 +124,20 @@ class SetAssocCache
     bool setsPow2_ = false;
     int assoc_;
     std::uint64_t useClock_ = 0;
+
+    /**
+     * Repeat-access memo: the line touched by the last access() and
+     * where it sits. A back-to-back access to the same line is a hit
+     * on the array's most recently used way, and re-stamping a way
+     * that nothing else has touched in between cannot change any
+     * future victim choice (within-set stamp order is unchanged), so
+     * the whole lookup collapses to one compare. Spatial locality
+     * makes this the common case on the L1 data path — streaming
+     * code touches each 64B line ~8 times in a row. Invalidated by
+     * any other line's access, insert, invalidate or flush.
+     */
+    Addr lastLine_ = kNoTag;
+    std::size_t lastIdx_ = 0;
 
     // Flat set-major arrays, numSets_ * assoc_ entries each. Empty
     // ways carry tag kNoTag and stamp 0; valid stamps are >= 1.

@@ -13,11 +13,14 @@
  * and memory-level parallelism all emerge naturally — exactly the
  * effects the paper's Rulers measure.
  *
- * The window is a ring buffer indexed with wrap-if arithmetic (never
- * `%`, whose runtime divide dominated the issue scan), uops are
- * pulled from the UopSource in batches to amortize the virtual
- * dispatch, and the MSHR scan memoizes the earliest-free deadline so
- * a full set of outstanding misses is rejected in O(1). All of it is
+ * The window is stored structure-of-arrays: flat per-slot arrays
+ * (type, ready time, sequence number) instead of 32-byte slot
+ * records, and readiness is propagated eagerly along forward
+ * dependence edges at producer-issue time, so every unissued slot
+ * carries an *exact* operand-ready cycle. Future ready cycles park in
+ * a calendar ring that drains into a ready bitmap as time advances;
+ * the issue scan enumerates only that bitmap, so its cost tracks the
+ * number of issuable uops, not the window size. All of it is
  * behavior-preserving (enforced by test_golden_sim).
  */
 
@@ -87,10 +90,16 @@ class HardwareContext
      * @param core_budget in/out remaining core-wide dispatch slots
      * @param core owning core's index
      * @param mem machine memory system
+     * @param solo_on_core true when this is the only active context on
+     *        its core this cycle. Enables the exact MSHR-bound scan
+     *        skip with rotor replay (see replaySkippedScans): with no
+     *        sibling, skipped scans see an empty port mask and a full
+     *        dispatch budget every cycle, so their port-rotor effects
+     *        are deterministic and can be replayed in bulk.
      * @return number of uops issued
      */
     int issue(Cycle now, unsigned &port_busy, int &core_budget, int core,
-              MemorySystem &mem);
+              MemorySystem &mem, bool solo_on_core);
 
     /** Uops currently in the window (ICOUNT fetch arbitration). */
     int inFlight() const { return count_; }
@@ -147,20 +156,8 @@ class HardwareContext
     const CounterBlock &counters() const { return counters_; }
 
   private:
-    struct Slot {
-        Uop uop;
-        std::uint64_t seq = 0;
-    };
-
     /** Uops pulled per UopSource::nextBatch() call. */
     static constexpr int kFetchBatch = 16;
-
-    /**
-     * Earliest cycle the operands of @p slot can be available (exact
-     * for issued producers; now + 1 for unissued ones). The slot is
-     * ready at @p now iff the returned bound is <= @p now.
-     */
-    Cycle slotReadyAt(const Slot &slot, Cycle now) const;
 
     /**
      * Find a free MSHR, or -1. Picks the lowest free index, like the
@@ -173,6 +170,42 @@ class HardwareContext
     /** Pick a free port from @p mask honouring @p port_busy, or -1. */
     int pickPort(unsigned mask, unsigned port_busy);
 
+    /**
+     * Resolve the forward dependence edges of an issuing producer at
+     * window slot @p idx completing at @p finish: every registered
+     * waiter folds the completion cycle into its ready time; waiters
+     * whose last pending producer this was become exactly-timed.
+     */
+    void resolveWaiters(int idx, Cycle finish);
+
+    /** File slot @p idx to become issuable at its ready cycle @p r. */
+    void pushCalendar(int idx, Cycle r);
+
+    /**
+     * Move every slot whose ready cycle lies in (lastDrain_, now]
+     * from the calendar into the ready bitmap.
+     */
+    void drainCalendar(Cycle now);
+
+    /**
+     * Earliest cycle after @p now with a calendar entry, or
+     * kNeverCycle. May undershoot for entries a full calendar lap
+     * ahead (alias) — an undershot bound only costs a futile rescan,
+     * never a missed one.
+     */
+    Cycle calendarNextEvent(Cycle now) const;
+
+    /**
+     * Advance the port rotor as if @p scans additional zero-issue
+     * scans had run, each making the pickPort call sequence recorded
+     * in replayMasks_ against an empty busy mask. Valid only in the
+     * solo-on-core regime, where skipped scans are cycle-for-cycle
+     * identical to the recorded one (frozen window, empty port mask,
+     * fresh budget). The rotor orbit has at most kNumPorts states, so
+     * arbitrarily long spans replay in O(kNumPorts * |masks|).
+     */
+    void replaySkippedScans(Cycle scans);
+
     CoreConfig coreConfig_;
     Tlb itlb_;
     Tlb dtlb_;
@@ -182,32 +215,81 @@ class HardwareContext
     Addr addrBase_ = 0;
     Addr pcBase_ = 0;
 
-    std::vector<Slot> window_;
+    // ---------------------------------------------------------------
+    // Window storage, structure-of-arrays. A slot's index is its
+    // sequence number modulo the window capacity (inserts and seqs
+    // advance in lockstep from bind()), so no slot->seq map is
+    // needed beyond slotSeq_ itself.
+    // ---------------------------------------------------------------
+
+    /** Uop type per slot (port mask / latency via lookup). */
+    std::vector<std::uint8_t> slotType_;
+
+    /** Data address per slot (loads/stores only). */
+    std::vector<Addr> slotAddr_;
+
+    /** Sequence number per slot (dependence ring, branch resolve). */
+    std::vector<std::uint64_t> slotSeq_;
 
     /**
-     * Per-slot readiness memo, kept outside Slot so the issue scan
-     * streams through a dense 8-byte-per-slot array: a lower bound on
-     * the first cycle the slot's operands can be ready (issued
-     * producers complete at a known cycle, unissued ones no earlier
-     * than next cycle, so re-evaluating readiness before the bound is
-     * provably futile; 0 = not yet evaluated).
+     * Exact cycle the slot's operands are available. While any
+     * producer is unissued the field holds the partial maximum over
+     * already-known producer completions and slotPending_ is nonzero;
+     * once the last producer issues it becomes exact and the slot
+     * enters either the ready bitmap or the calendar below.
      */
-    std::vector<Cycle> slotState_;
+    std::vector<Cycle> slotReady_;
+
+    /** Count of unissued producers feeding the slot (0, 1 or 2). */
+    std::vector<std::uint8_t> slotPending_;
+
+    /**
+     * Forward dependence edges, producer -> waiters. Edge id
+     * `2*slot + operand`; slotWaiters_ heads an intrusive list per
+     * producer slot, edgeNext_ chains it. Edges are drained exactly
+     * once, when the producer issues, so recycled slots start clean.
+     */
+    std::vector<std::int32_t> slotWaiters_;
+    std::vector<std::int32_t> edgeNext_;
 
     /**
      * One bit per window slot, set iff the slot holds an unissued
-     * uop. The issue scan measured ~3 issued-but-unretired "holes"
-     * for every unissued slot it actually examines, so it enumerates
-     * this bitmap with count-trailing-zeros instead of walking the
-     * ring slot by slot. Invariant: bit set <=> slot is in the window
-     * and unissued (cleared at issue, so retired slots are always
-     * clear; fetch sets the bit on insert).
+     * uop. Retirement and scheduler-depth ranking enumerate it with
+     * count-trailing-zeros; issued-but-unretired "holes" cost
+     * nothing. Invariant: bit set <=> slot in the window, unissued.
      */
     std::vector<std::uint64_t> unissuedBits_;
+
+    /**
+     * One bit per window slot, set iff the slot is unissued, has no
+     * pending producers, and its exact ready cycle has passed (<= the
+     * last drained cycle). The issue scan enumerates only this
+     * bitmap, so scan cost tracks the number of issuable uops rather
+     * than the window size. Slots whose ready cycle is still in the
+     * future wait in the calendar below and are drained in as
+     * simulated time reaches them.
+     */
+    std::vector<std::uint64_t> readyBits_;
+
+    /**
+     * Ready-time calendar: a ring of kCalendar cycle buckets, each an
+     * intrusive list (calNext_) of slots whose exact ready cycle maps
+     * to it. calOcc_ is a bitmap of non-empty buckets, used both to
+     * drain elapsed buckets without touching empty ones and to find
+     * the next future readiness event for the scan-skip bound. An
+     * entry whose ready cycle aliases (ready > drain cycle, same
+     * bucket) is re-pushed and fires one lap later.
+     */
+    static constexpr int kCalendar = 1024;
+    std::vector<std::int32_t> calHead_;
+    std::vector<std::int32_t> calNext_;
+    std::array<std::uint64_t, kCalendar / 64> calOcc_{};
+    Cycle lastDrain_ = 0;
 
     int windowCap_ = 0;
     int head_ = 0;
     int count_ = 0;
+    int unissued_ = 0;  ///< set bits in unissuedBits_, kept incrementally
 
     /** Read-ahead buffer over source_ (order-preserving). */
     std::array<Uop, kFetchBatch> fetchBuf_{};
@@ -236,6 +318,21 @@ class HardwareContext
     Cycle noIssueBefore_ = 0;
     Addr lastFetchLine_ = ~Addr{0};
     int portRotor_ = 0;  ///< rotates port preference for multi-port uops
+
+    /**
+     * Rotor-replay state for the solo-on-core exact MSHR skip. A
+     * zero-issue scan whose only rejections are MSHR-full may set
+     * noIssueBefore_ to the earliest MSHR deadline instead of now+1 —
+     * but the reference execution would have re-run that scan every
+     * cycle, advancing the port rotor via the rejected slots' pickPort
+     * calls. replayMasks_ records that scan's pickPort masks in order;
+     * the next real scan first replays the skipped-scan rotor
+     * evolution so the rotor (and thus every later port assignment)
+     * stays byte-identical to the reference.
+     */
+    std::vector<unsigned> replayMasks_;
+    Cycle lastScanCycle_ = kNeverCycle;
+    bool replayValid_ = false;
 };
 
 } // namespace smite::sim

@@ -86,11 +86,22 @@ prewarmData(MemorySystem &mem, const MachineConfig &config,
     while (progress) {
         progress = false;
         for (size_t i = 0; i < placements.size(); ++i) {
+            if (fresh) {
+                // Same chunk-interleaved insertion order, one batched
+                // call per chunk instead of a call per line.
+                const std::uint64_t chunk =
+                    std::min<std::uint64_t>(64, budget[i]);
+                if (chunk > 0) {
+                    mem.prewarmDataAbsentRange(dataBase(i) + cursor[i],
+                                               chunk);
+                    cursor[i] += chunk * kLineBytes;
+                    budget[i] -= chunk;
+                    progress = true;
+                }
+                continue;
+            }
             for (int k = 0; k < 64 && budget[i] > 0; ++k) {
-                if (fresh)
-                    mem.prewarmDataAbsent(dataBase(i) + cursor[i]);
-                else
-                    mem.prewarmData(dataBase(i) + cursor[i]);
+                mem.prewarmData(dataBase(i) + cursor[i]);
                 cursor[i] += kLineBytes;
                 --budget[i];
                 progress = true;
@@ -108,12 +119,13 @@ prewarmCode(MemorySystem &mem, const MachineConfig &config,
         const Addr code = std::min<Addr>(
             placements[i].source->codeFootprint(),
             config.l3.sizeBytes / 4);
-        for (Addr off = 0; off < code; off += kLineBytes) {
-            if (fresh)
-                mem.prewarmDataAbsent(codeBase(i) + off);
-            else
-                mem.prewarmData(codeBase(i) + off);
+        if (fresh) {
+            mem.prewarmDataAbsentRange(
+                codeBase(i), (code + kLineBytes - 1) / kLineBytes);
+            continue;
         }
+        for (Addr off = 0; off < code; off += kLineBytes)
+            mem.prewarmData(codeBase(i) + off);
     }
 }
 
@@ -168,29 +180,65 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
             }
         }
     }
+    // Event-driven scheduling state, persistent across the warmup and
+    // measurement intervals so skips carry over interval boundaries.
+    // wake[i] is the earliest cycle core i could act (its idleBound);
+    // idleFrom[i] marks how far its idle accounting has been applied.
+    const size_t n_live = live.size();
+    std::vector<Cycle> wake(n_live, 0);
+    std::vector<Cycle> idle_from(n_live, 0);
+    std::uint64_t idle_skipped = 0;
+    std::uint64_t wake_events = 0;
+
     auto tick_for = [&](Cycle from, Cycle to) {
-        for (Cycle now = from; now < to; ++now) {
-            for (SmtCore *core : live)
-                core->tick(now, mem);
-            // Event skip: when every live core is provably inert until
-            // some future cycle (fetch stalled or window-full, issue
-            // inside its memoized retry bound), jump straight there,
-            // bulk-accounting the fetch-stall counters the skipped
-            // no-op ticks would have bumped. Queried only once per
-            // real tick, so busy stretches pay a single cheap check.
-            Cycle skip_to = to;
-            for (SmtCore *core : live) {
-                const Cycle b = core->idleBound(now + 1);
-                if (b <= now + 1) {
-                    skip_to = now + 1;
-                    break;
-                }
-                skip_to = b < skip_to ? b : skip_to;
-            }
-            if (skip_to > now + 1) {
+        if (referenceTicking_) {
+            // Reference mode: tick every live core every cycle, no
+            // skipping. The ground truth the equivalence tests compare
+            // the event-driven loop against.
+            for (Cycle now = from; now < to; ++now) {
                 for (SmtCore *core : live)
-                    core->accountIdle(now + 1, skip_to);
-                now = skip_to - 1;  // loop increment lands on skip_to
+                    core->tick(now, mem);
+            }
+        } else {
+            // Event loop: advance straight to the earliest per-core
+            // wake time. A core whose wake is beyond `now` is provably
+            // a no-op at `now` (its idleBound only depends on its own
+            // state, which is frozen while it sleeps), so not ticking
+            // it is behavior-preserving; the fetch-stall counters its
+            // skipped ticks would have bumped are replayed in bulk by
+            // accountIdle just before it runs again. Cores sharing a
+            // wake cycle tick in `live` order — the same relative
+            // order as the reference loop — so the interleaving of
+            // shared-L3/DRAM accesses is identical.
+            for (;;) {
+                Cycle now = kNeverCycle;
+                for (size_t i = 0; i < n_live; ++i)
+                    now = wake[i] < now ? wake[i] : now;
+                if (now >= to)
+                    break;
+                for (size_t i = 0; i < n_live; ++i) {
+                    if (wake[i] != now)
+                        continue;
+                    if (now > idle_from[i]) {
+                        live[i]->accountIdle(idle_from[i], now);
+                        idle_skipped += now - idle_from[i];
+                    }
+                    live[i]->tick(now, mem);
+                    ++wake_events;
+                    idle_from[i] = now + 1;
+                    wake[i] = live[i]->idleBound(now + 1);
+                }
+            }
+            // Interval boundary: settle idle accounting up to `to` so
+            // the counter snapshot taken between intervals is exact.
+            // Spans never cross a core's wake time (to <= wake[i]
+            // here), so the stall condition is constant across each.
+            for (size_t i = 0; i < n_live; ++i) {
+                if (to > idle_from[i]) {
+                    live[i]->accountIdle(idle_from[i], to);
+                    idle_skipped += to - idle_from[i];
+                    idle_from[i] = to;
+                }
             }
         }
         for (SmtCore *core : live) {
@@ -263,10 +311,16 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
         obs::Registry::global().counter("machine.runs");
     static obs::Counter &cycles =
         obs::Registry::global().counter("machine.cycles");
+    static obs::Counter &skipped =
+        obs::Registry::global().counter("machine.idle_skipped_cycles");
+    static obs::Counter &wakes =
+        obs::Registry::global().counter("machine.wake_events");
     static obs::Histogram &ipc_samples =
         obs::Registry::global().histogram("machine.ipc");
     runs.add();
     cycles.add(warmup + measure);
+    skipped.add(idle_skipped);
+    wakes.add(wake_events);
     for (const CounterBlock &block : results)
         ipc_samples.observe(block.ipc());
     return results;

@@ -94,8 +94,17 @@ class Machine
     /** Machine description. */
     const MachineConfig &config() const { return config_; }
 
+    /**
+     * Force the reference cycle-by-cycle tick loop instead of the
+     * event-driven wake list. Slow; exists so equivalence tests can
+     * compare the two execution modes on identical inputs. Both modes
+     * are byte-identical by construction (see docs/PERFORMANCE.md).
+     */
+    void setReferenceTicking(bool on) { referenceTicking_ = on; }
+
   private:
     MachineConfig config_;
+    bool referenceTicking_ = false;
 };
 
 } // namespace smite::sim

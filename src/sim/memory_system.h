@@ -75,6 +75,16 @@ class MemorySystem
         l3_.insertAbsent(lineAddr(addr));
     }
 
+    /**
+     * prewarmDataAbsent for @p count consecutive lines starting at
+     * @p addr, batched into one pass over the L3 arrays.
+     */
+    void
+    prewarmDataAbsentRange(Addr addr, std::uint64_t count)
+    {
+        l3_.insertAbsentRange(lineAddr(addr), count);
+    }
+
     /** L1D hit latency (used to detect misses for MSHR occupancy). */
     Cycle l1dHitLatency() const { return config_.l1d.hitLatency; }
 
@@ -83,6 +93,14 @@ class MemorySystem
 
     /** Shared DRAM channel (exposed for bandwidth statistics). */
     const DramChannel &dram() const { return dram_; }
+
+    /**
+     * Next memory-system progress event (currently: the DRAM channel
+     * freeing up). The hierarchy computes full latencies at access
+     * time — nothing in it is polled per cycle — so this exists to
+     * feed the machine wake list, not to drive state transitions.
+     */
+    Cycle nextEventAt() const { return dram_.nextEventAt(); }
 
   private:
     struct CoreCaches {

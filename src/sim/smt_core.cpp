@@ -34,11 +34,16 @@ SmtCore::tick(Cycle now, MemorySystem &mem)
         ctx.fetch(now, coreConfig_.fetchWidth, coreId_, mem);
         unsigned port_busy = 0;
         int core_budget = coreConfig_.issuePerCore;
-        ctx.issue(now, port_busy, core_budget, coreId_, mem);
+        ctx.issue(now, port_busy, core_budget, coreId_, mem,
+                  /*solo_on_core=*/true);
         return;
     }
 
-    int first = static_cast<int>(now % n);
+    // Rotation seed; contexts-per-core is virtually always a power of
+    // two, so avoid the hardware divide on this per-tick path.
+    int first = (n & (n - 1)) == 0
+                    ? static_cast<int>(now & static_cast<Cycle>(n - 1))
+                    : static_cast<int>(now % n);
     if (coreConfig_.fetchPolicy == FetchPolicy::kIcount) {
         // ICOUNT: the context with the fewest in-flight uops fetches
         // first (ties fall back to rotation).
@@ -64,7 +69,8 @@ SmtCore::tick(Cycle now, MemorySystem &mem)
     int core_budget = coreConfig_.issuePerCore;
     idx = first;
     for (int k = 0; k < n && core_budget > 0; ++k) {
-        contexts_[idx].issue(now, port_busy, core_budget, coreId_, mem);
+        contexts_[idx].issue(now, port_busy, core_budget, coreId_, mem,
+                             /*solo_on_core=*/false);
         idx = idx + 1 == n ? 0 : idx + 1;
     }
 }

@@ -48,6 +48,7 @@ Tlb::resetState()
     }
     lruHead_ = 0;
     lruTail_ = n - 1;
+    lastPage_ = kNoPage;
 }
 
 void
@@ -120,6 +121,11 @@ Tlb::tableErase(std::size_t cell)
 bool
 Tlb::access(Addr page)
 {
+    // Repeat of the previous translation: the page's entry is already
+    // the MRU tail, so the hash probe and relink are dead work.
+    if (page == lastPage_)
+        return true;
+    lastPage_ = page;
     std::size_t cell = hashOf(page) & tableMask_;
     for (std::int32_t e = table_[cell]; e != kNil;
          cell = (cell + 1) & tableMask_, e = table_[cell]) {

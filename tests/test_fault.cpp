@@ -21,6 +21,7 @@
 #include "fault/fault.h"
 #include "obs/incident.h"
 #include "obs/metrics.h"
+#include "queueing/des.h"
 #include "scheduler/cluster.h"
 #include "scheduler/online.h"
 #include "workload/spec2006.h"
@@ -352,6 +353,35 @@ TEST_F(FaultTest, MachineJitterPerturbsResultsOnlyWhileArmed)
     const auto clean_holder = makeLab();
     Lab &clean = *clean_holder;
     EXPECT_EQ(clean.soloIpc(a), baseline);
+}
+
+TEST_F(FaultTest, DesServiceChaosIsDeterministicAndOnlyWhileArmed)
+{
+    const auto run = [] {
+        return queueing::simulateMm1(0.6, 1.0, 4'000, /*seed=*/17,
+                                     /*warmupRequests=*/500)
+            .meanResponse();
+    };
+    const double baseline = run();
+
+    const SiteSpec spec{.probability = 0.3, .seed = 13, .sigma = 0.5};
+    FaultPlan::global().arm("des.service", spec);
+    const double chaotic = run();
+    EXPECT_GT(counter("fault.des.service.injected"), 0u);
+    // Stretches only ever lengthen service, so chaos shows up as
+    // strictly worse mean response.
+    EXPECT_GT(chaotic, baseline);
+
+    // Chaos is reproducible: re-arming the same spec resets the
+    // site's decision sequence, and the whole perturbed simulation
+    // replays bit for bit.
+    resetGlobals();
+    FaultPlan::global().arm("des.service", spec);
+    EXPECT_EQ(run(), chaotic);
+
+    // Disarmed plan leaves the model untouched.
+    resetGlobals();
+    EXPECT_EQ(run(), baseline);
 }
 
 /** A pairing whose QoS falls linearly with instance count. */

@@ -369,12 +369,38 @@ runScenario(int index)
                             Placement{1, 0, &c}, Placement{1, 1, &d}},
                            kWarmup, kMeasure);
       }
+      case 6: {  // multi-core CMP: four cores, one context each — the
+                 // shape where per-core wake times matter most (cores
+                 // sharing only L3/DRAM are rarely simultaneously idle)
+        const Machine machine(MachineConfig::ivyBridge());
+        auto a = src("456.hmmer");
+        auto b = src("470.lbm");
+        auto c = src("429.mcf");
+        auto d = src("462.libquantum");
+        return machine.run({Placement{0, 0, &a}, Placement{1, 0, &b},
+                            Placement{2, 0, &c}, Placement{3, 0, &d}},
+                           kWarmup, kMeasure);
+      }
+      case 7: {  // 4-context SMT: one core, four hardware threads
+                 // (Navarro-style wide SMT; exercises the shared
+                 // fetch/issue arbitration rotation beyond 2 ways)
+        MachineConfig config = MachineConfig::ivyBridge();
+        config.contextsPerCore = 4;
+        const Machine machine(config);
+        auto a = src("456.hmmer");
+        auto b = src("470.lbm");
+        auto c = src("403.gcc");
+        auto d = src("433.milc");
+        return machine.run({Placement{0, 0, &a}, Placement{0, 1, &b},
+                            Placement{0, 2, &c}, Placement{0, 3, &d}},
+                           kWarmup, kMeasure);
+      }
       default:
         throw std::logic_error("unknown scenario");
     }
 }
 
-constexpr int kNumScenarios = 6;
+constexpr int kNumScenarios = 8;
 
 /**
  * Seed-captured goldens. Captured from the pre-optimization model at
@@ -404,6 +430,16 @@ goldens()
           {12000, 8199, 1176, 2695, 1335, 681, 1050, 701, 2016, 1050, 78, 1, 2297, 769, 14, 771, 118, 653, 16, 1, 240, 115, 430},
           {12000, 8058, 1242, 664, 1446, 717, 751, 2083, 2163, 751, 1138, 40, 1970, 944, 451, 565, 72, 493, 72, 2, 90, 29, 2967},
           {12000, 4715, 312, 79, 777, 415, 294, 1148, 1192, 294, 588, 28, 179, 1307, 117, 1242, 635, 607, 52, 1, 843, 198, 2282}}},
+        {"ivy_cmp_quad_4core",
+         {{12000, 4517, 452, 245, 661, 286, 395, 900, 947, 395, 234, 1, 1073, 269, 0, 333, 64, 269, 64, 2, 8, 2, 1906},
+          {12000, 3530, 485, 1207, 635, 318, 478, 295, 953, 478, 33, 0, 1080, 351, 0, 351, 51, 300, 0, 0, 116, 45, 0},
+          {12000, 1329, 82, 13, 238, 135, 100, 389, 373, 100, 161, 3, 58, 415, 2, 445, 87, 358, 32, 1, 266, 77, 1566},
+          {12000, 3824, 418, 220, 684, 345, 565, 895, 1029, 565, 444, 4, 1299, 295, 0, 359, 85, 274, 64, 1, 68, 29, 1912}}},
+        {"ivy_smt4_quad",
+         {{12000, 3832, 400, 212, 545, 254, 339, 755, 799, 339, 198, 1, 578, 560, 294, 330, 65, 265, 64, 2, 6, 2, 1795},
+          {12000, 3201, 438, 1074, 563, 307, 438, 270, 870, 438, 33, 0, 978, 330, 3, 327, 13, 314, 0, 0, 111, 45, 0},
+          {12000, 2584, 301, 138, 426, 235, 285, 756, 661, 285, 449, 13, 433, 513, 202, 366, 59, 307, 55, 2, 40, 14, 1972},
+          {12000, 3257, 521, 599, 463, 292, 256, 423, 755, 256, 90, 0, 523, 488, 50, 438, 140, 298, 0, 0, 201, 69, 0}}},
     };
     return kGolden;
 }
@@ -442,6 +478,86 @@ TEST(GoldenMachine, CountersMatchSeedBehavior)
                       static_cast<size_t>(kNumFields));
             for (int f = 0; f < kNumFields; ++f) {
                 EXPECT_EQ(flat[f], golden[s].expected[p][f])
+                    << "placement " << p << " field " << kFieldNames[f];
+            }
+        }
+    }
+}
+
+// ===================================================================
+// Event-driven vs. reference per-tick execution: randomized shapes.
+// ===================================================================
+
+/**
+ * The event-driven machine loop (per-core wake times, bulk idle
+ * accounting) claims byte-identity with ticking every live core every
+ * cycle. The golden pins above check fixed shapes; this suite draws
+ * random machine shapes, workload mixes and (short) interval lengths,
+ * runs each placement set through both execution modes, and requires
+ * every counter of every placement to match exactly.
+ */
+TEST(EventDrivenEquivalence, RandomShapesMatchPerTickReference)
+{
+    const auto &pool = workload::spec2006::all();
+    workload::Rng rng(0xE4E2'72024ull);
+
+    constexpr int kTrials = 24;
+    for (int t = 0; t < kTrials; ++t) {
+        SCOPED_TRACE("trial " + std::to_string(t));
+
+        MachineConfig config = (rng.nextU64() & 1) != 0
+                                   ? MachineConfig::ivyBridge()
+                                   : MachineConfig::sandyBridgeEN();
+        if ((rng.nextU64() & 3) == 0)
+            config.contextsPerCore = 4;
+        if ((rng.nextU64() & 3) == 0)
+            config.inclusiveL3 = true;
+        if ((rng.nextU64() & 3) == 0)
+            config.l2NextLinePrefetch = true;
+        if ((rng.nextU64() & 3) == 0)
+            config.core.fetchPolicy = FetchPolicy::kIcount;
+
+        // 1-4 streams over distinct (core, context) slots.
+        const int n_streams = 1 + static_cast<int>(rng.nextU64() % 4);
+        std::vector<std::pair<int, int>> slots;
+        for (int c = 0; c < config.numCores; ++c)
+            for (int k = 0; k < config.contextsPerCore; ++k)
+                slots.emplace_back(c, k);
+        for (size_t i = slots.size(); i > 1; --i)
+            std::swap(slots[i - 1], slots[rng.nextU64() % i]);
+
+        std::vector<const workload::WorkloadProfile *> profiles;
+        for (int i = 0; i < n_streams; ++i)
+            profiles.push_back(&pool[rng.nextU64() % pool.size()]);
+
+        const Cycle warmup = rng.nextU64() % 2'000;
+        const Cycle measure = 500 + rng.nextU64() % 4'000;
+
+        // Fresh sources per mode: bind() resets them, but separate
+        // objects make the two runs trivially independent.
+        const auto run_mode = [&](bool reference) {
+            Machine machine(config);
+            machine.setReferenceTicking(reference);
+            std::vector<workload::ProfileUopSource> sources;
+            sources.reserve(profiles.size());
+            for (const auto *p : profiles)
+                sources.emplace_back(*p);
+            std::vector<Placement> placements;
+            for (int i = 0; i < n_streams; ++i) {
+                placements.push_back(Placement{
+                    slots[i].first, slots[i].second, &sources[i]});
+            }
+            return machine.run(placements, warmup, measure);
+        };
+
+        const auto event_driven = run_mode(false);
+        const auto reference = run_mode(true);
+        ASSERT_EQ(event_driven.size(), reference.size());
+        for (size_t p = 0; p < event_driven.size(); ++p) {
+            const auto got = flatten(event_driven[p]);
+            const auto want = flatten(reference[p]);
+            for (int f = 0; f < kNumFields; ++f) {
+                EXPECT_EQ(got[f], want[f])
                     << "placement " << p << " field " << kFieldNames[f];
             }
         }
