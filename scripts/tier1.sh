@@ -143,6 +143,46 @@ PERF_DIR="$(mktemp -d)"
 rm -rf "$PERF_DIR"
 echo "perf smoke: ok"
 
+# --- Scheduler scale-out smoke -------------------------------------
+# The warehouse-scale sharded scheduler, three gates in one run
+# (docs/SCHEDULING.md):
+#  1. bench_scaleout_stress re-runs the 4k/32k/128k-server sweep and
+#     report_diff checks it against the committed BENCH_sched.json —
+#     throughput within tolerance, and the (exactly reproducible)
+#     utilization/goodput/digest results byte-stable;
+#  2. its --determinism mode replays the 4k fleet at shard counts
+#     1/4/16 with the default pool and forced serial, and the stdouts
+#     (timings excluded by construction) must be byte-identical;
+#  3. every scheduler.* metric the fresh report emitted must appear
+#     in the docs/OBSERVABILITY.md catalog (doc-drift check).
+SCHED_DIR="$(mktemp -d)"
+(
+    cd "$SCHED_DIR"
+    "$REPO/build/bench/bench_scaleout_stress" fresh_sched.json \
+        > sched.stdout
+    "$REPO/build/tools/report_diff" --tol 0.6 \
+        "$REPO/BENCH_sched.json" fresh_sched.json
+
+    "$REPO/build/bench/bench_scaleout_stress" --determinism \
+        > det_default.stdout
+    SMITE_THREADS=1 "$REPO/build/bench/bench_scaleout_stress" \
+        --determinism > det_serial.stdout
+    cmp det_default.stdout det_serial.stdout
+
+    "$REPO/build/tools/obs_check" report fresh_sched.json |
+        grep '^scheduler\.' > sched_names.txt
+    missing=0
+    while read -r name; do
+        if ! grep -qF "\`$name\`" "$REPO/docs/OBSERVABILITY.md"; then
+            echo "undocumented scheduler metric: $name" >&2
+            missing=1
+        fi
+    done < sched_names.txt
+    [ "$missing" -eq 0 ]
+)
+rm -rf "$SCHED_DIR"
+echo "scheduler scale-out smoke: ok"
+
 # --- Debug/Release equivalence -------------------------------------
 # The optimized simulator kernels must not change a single output
 # byte across optimization levels: run one figure harness from an

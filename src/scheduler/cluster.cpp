@@ -9,6 +9,7 @@
 #include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scheduler/keyed.h"
 #include "workload/rng.h"
 
 namespace smite::scheduler {
@@ -171,14 +172,15 @@ Cluster::runPredictedPolicyWithFailures(double qos_target, int epochs,
             recoveries.add();
         }
 
-        // Failures this epoch: keyed per (epoch, server), so the
-        // outcome is a pure function of the armed seed.
+        // Failures this epoch: keyed per (epoch, server) through the
+        // shared key format (keyed.h), so the outcome is a pure
+        // function of the armed seed and the online policy replays
+        // the identical churn trace.
         std::vector<int> evicted_batches;
         for (size_t s = 0; s < assignment_.size(); ++s) {
-            const std::string key = "epoch" + std::to_string(epoch) +
-                                    "#server" + std::to_string(s);
             if (!faults.enabled() ||
-                !faults.shouldInject("server.fail", key)) {
+                !faults.shouldInject("server.fail",
+                                     epochServerKey(epoch, s))) {
                 continue;
             }
             down[s] = true;

@@ -12,6 +12,12 @@
  * QoS is expressed uniformly as a fraction of solo performance
  * (average-performance QoS: 1 - degradation; tail QoS: solo p90
  * divided by degraded p90), so the same policies serve both metrics.
+ *
+ * This model is deliberately the paper's: homogeneous fleet, lockstep
+ * full-cluster epochs, one batch candidate per server. The
+ * warehouse-scale generalization — sharded state, streaming churn
+ * epochs, mixed QoS tiers, heterogeneous machines — lives in shard.h;
+ * the layer-wide catalog is docs/SCHEDULING.md.
  */
 
 #ifndef SMITE_SCHEDULER_CLUSTER_H

@@ -8,21 +8,9 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scheduler/keyed.h"
 
 namespace smite::scheduler {
-
-namespace {
-
-/** The per-(epoch, server) fault key, shared with the static loop so
- * both policies replay the identical churn trace. */
-std::string
-epochKey(int epoch, std::size_t server)
-{
-    return "epoch" + std::to_string(epoch) + "#server" +
-           std::to_string(server);
-}
-
-} // namespace
 
 OnlineScheduler::OnlineScheduler(const Cluster &cluster,
                                  OnlineConfig config)
@@ -116,7 +104,8 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
         std::vector<int> evicted_batches;
         for (std::size_t s = 0; s < n; ++s) {
             if (!faults.enabled() ||
-                !faults.shouldInject("server.fail", epochKey(epoch, s)))
+                !faults.shouldInject("server.fail",
+                                     epochServerKey(epoch, s)))
                 continue;
             down[s] = true;
             failures.add();
@@ -175,7 +164,7 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
             double observed =
                 cluster_.pairingOf(s).byInstances[k - 1].actualQos;
             if (observe_noise) {
-                const std::string key = epochKey(epoch, s);
+                const std::string key = epochServerKey(epoch, s);
                 if (faults.shouldInject("scheduler.observe", key)) {
                     observed *= std::max(
                         0.0,
