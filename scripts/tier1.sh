@@ -183,6 +183,73 @@ SCHED_DIR="$(mktemp -d)"
 rm -rf "$SCHED_DIR"
 echo "scheduler scale-out smoke: ok"
 
+# --- Load / knee-harness smoke -------------------------------------
+# The open-loop load subsystem, three gates (docs/ROBUSTNESS.md,
+# EXPERIMENTS.md):
+#  1. bench_latency_vs_load re-runs the stepped sweep + knee table +
+#     load-aware scheduler scenario and report_diff checks it against
+#     the committed BENCH_load.json (knee QPS within tolerance, the
+#     exactly-reproducible scenario counters byte-stable); every
+#     loadgen.* / des.-related metric it emitted must be in the
+#     docs/OBSERVABILITY.md catalog;
+#  2. determinism: the same run with the default pool and forced
+#     serial, in fresh directories with the same output filename,
+#     must produce byte-identical stdout and report JSON;
+#  3. chaos: under a pinned three-site des.* plan the harness must
+#     still pass its internal monotonicity/shedding assertions, be
+#     byte-deterministic across thread counts, and count injections.
+LOAD_PLAN='des.server_stall:p=0.05,sigma=0.5,seed=7;des.drop:p=0.002,seed=13;des.arrival_burst:p=0.02,sigma=1.0,seed=9'
+LOAD_A="$(mktemp -d)"
+LOAD_B="$(mktemp -d)"
+(
+    cd "$LOAD_A"
+    "$REPO/build/bench/bench_latency_vs_load" \
+        BENCH_load.json > load.stdout
+    "$REPO/build/tools/report_diff" --tol 0.6 \
+        "$REPO/BENCH_load.json" BENCH_load.json
+
+    "$REPO/build/tools/obs_check" report BENCH_load.json |
+        grep -E '^(loadgen|fault\.des)\.' > load_names.txt || true
+    missing=0
+    while read -r name; do
+        if ! grep -qF "\`$name\`" "$REPO/docs/OBSERVABILITY.md"; then
+            echo "undocumented loadgen metric: $name" >&2
+            missing=1
+        fi
+    done < load_names.txt
+    [ "$missing" -eq 0 ]
+)
+(
+    cd "$LOAD_B"
+    SMITE_THREADS=1 "$REPO/build/bench/bench_latency_vs_load" \
+        BENCH_load.json > load.stdout
+)
+cmp "$LOAD_A/load.stdout" "$LOAD_B/load.stdout"
+cmp "$LOAD_A/BENCH_load.json" "$LOAD_B/BENCH_load.json"
+rm -rf "$LOAD_A" "$LOAD_B"
+
+LOAD_CA="$(mktemp -d)"
+LOAD_CB="$(mktemp -d)"
+(
+    cd "$LOAD_CA"
+    SMITE_FAULTS="$LOAD_PLAN" \
+        "$REPO/build/bench/bench_latency_vs_load" \
+        BENCH_load.json > load.stdout
+    "$REPO/build/tools/obs_check" report BENCH_load.json \
+        --nonzero fault.des.server_stall.injected \
+        fault.des.drop.injected \
+        fault.des.arrival_burst.injected > /dev/null
+)
+(
+    cd "$LOAD_CB"
+    SMITE_THREADS=1 SMITE_FAULTS="$LOAD_PLAN" \
+        "$REPO/build/bench/bench_latency_vs_load" \
+        BENCH_load.json > load.stdout
+)
+cmp "$LOAD_CA/load.stdout" "$LOAD_CB/load.stdout"
+rm -rf "$LOAD_CA" "$LOAD_CB"
+echo "load smoke: ok"
+
 # --- Debug/Release equivalence -------------------------------------
 # The optimized simulator kernels must not change a single output
 # byte across optimization levels: run one figure harness from an

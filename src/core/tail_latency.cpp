@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "loadgen/arrival.h"
+
 namespace smite::core {
 
 TailLatencyPredictor::TailLatencyPredictor(
@@ -46,10 +48,32 @@ TailLatencyPredictor::measurePercentile(double p,
         actual_degradation = 0.0;
     if (actual_degradation >= 1.0)
         throw std::invalid_argument("degradation must be below 1");
+    if (requests <= kWarmupRequests)
+        throw std::invalid_argument(
+            "need more requests than the warmup window");
     const double mu_prime = (1.0 - actual_degradation) * queue_.mu();
-    const auto sim =
-        queueing::simulateMm1(queue_.lambda(), mu_prime, requests, seed);
-    return sim.percentile(p);
+
+    // Measured path: the open-loop DES — a Poisson arrival stream at
+    // the profile's design rate through one server at the degraded
+    // service rate. Statistically this is still M/M/1 (the closed
+    // form stays a valid cross-check), but the engine is the same one
+    // the load sweeps and knee searches use, exercises the
+    // `des.arrival_burst` / `des.server_stall` / `des.drop` chaos
+    // sites, and is keyed, so the measurement is byte-identical
+    // across repeats and thread counts.
+    loadgen::ArrivalConfig arrival;
+    arrival.kind = loadgen::ArrivalKind::kPoisson;
+    arrival.rate = queue_.lambda();
+    arrival.seed = seed;
+    loadgen::ArrivalStream source(arrival);
+
+    queueing::OpenLoopConfig server;
+    server.serviceRates = {mu_prime};
+    server.seed = seed;
+
+    const auto sim = queueing::simulateOpenLoop(
+        source.generate(static_cast<std::size_t>(requests)), server);
+    return sim.percentile(p, kWarmupRequests);
 }
 
 } // namespace smite::core

@@ -40,16 +40,22 @@ class TailLatencyPredictor
      */
     double predictPercentile(double p, double predicted_degradation) const;
 
+    /** Warmup arrivals discarded by measurePercentile(). */
+    static constexpr std::uint64_t kWarmupRequests = 1000;
+
     /**
-     * "Measured" p-th percentile latency: a discrete-event queueing
-     * simulation driven by the *actual* degradation observed on the
-     * machine — this stands in for the paper's harness-reported
-     * latency statistics.
+     * "Measured" p-th percentile latency: the open-loop discrete-
+     * event simulation (queueing::simulateOpenLoop fed by a keyed
+     * Poisson loadgen::ArrivalStream) driven at the profile's design
+     * arrival rate against the service rate degraded by the *actual*
+     * degradation observed on the machine — this stands in for the
+     * paper's harness-reported latency statistics. The first
+     * kWarmupRequests arrivals are discarded.
      *
      * @param p percentile in (0, 1)
      * @param actual_degradation measured throughput degradation
-     * @param requests simulated request count
-     * @param seed simulation seed
+     * @param requests simulated request count (> kWarmupRequests)
+     * @param seed simulation seed (arrival and service streams)
      */
     double measurePercentile(double p, double actual_degradation,
                              std::uint64_t requests = 200000,

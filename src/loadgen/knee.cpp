@@ -1,0 +1,79 @@
+#include "loadgen/knee.h"
+
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace smite::loadgen {
+
+bool
+meetsTarget(const KneeConfig &config, double qps, StepResult *out)
+{
+    obs::Registry::global().counter("loadgen.knee_probes").add(1);
+    // Stream 0 for every probe: common random numbers across rates
+    // (see the file comment in knee.h).
+    const StepResult step = runStep(config.probe, qps, 0);
+    if (out != nullptr)
+        *out = step;
+    if (step.completed == 0)
+        return false;
+    if (config.failOnDrop && step.dropped > 0)
+        return false;
+    return step.percentileValue <= config.targetLatency;
+}
+
+KneeResult
+findKnee(const KneeConfig &config)
+{
+    if (config.targetLatency <= 0.0)
+        throw std::invalid_argument("targetLatency must be positive");
+    if (config.tolerance <= 0.0)
+        throw std::invalid_argument("tolerance must be positive");
+
+    double hi = config.qpsHi;
+    if (hi <= 0.0) {
+        hi = 0.0;
+        for (const double mu : config.probe.servers.serviceRates)
+            hi += mu;
+    }
+    if (config.qpsLo <= 0.0 || hi <= config.qpsLo)
+        throw std::invalid_argument("empty or inverted knee bracket");
+
+    KneeResult result;
+    StepResult at_lo;
+    if (!meetsTarget(config, config.qpsLo, &at_lo)) {
+        ++result.probes;
+        return result; // knee below the bracket: report 0
+    }
+    ++result.probes;
+    double lo = config.qpsLo;
+    double lo_latency = at_lo.percentileValue;
+
+    StepResult at_hi;
+    if (meetsTarget(config, hi, &at_hi)) {
+        // The whole bracket passes — the knee is at (or past) hi.
+        result.probes += 1;
+        result.kneeQps = hi;
+        result.latencyAtKnee = at_hi.percentileValue;
+        return result;
+    }
+    ++result.probes;
+
+    while (hi - lo > config.tolerance) {
+        const double mid = 0.5 * (lo + hi);
+        StepResult at_mid;
+        const bool ok = meetsTarget(config, mid, &at_mid);
+        ++result.probes;
+        if (ok) {
+            lo = mid;
+            lo_latency = at_mid.percentileValue;
+        } else {
+            hi = mid;
+        }
+    }
+    result.kneeQps = lo;
+    result.latencyAtKnee = lo_latency;
+    return result;
+}
+
+} // namespace smite::loadgen

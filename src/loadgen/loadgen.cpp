@@ -1,0 +1,134 @@
+#include "loadgen/loadgen.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace smite::loadgen {
+
+namespace {
+
+struct Instruments {
+    obs::Counter &steps;
+    obs::Counter &requests;
+    obs::Counter &completed;
+    obs::Counter &dropped;
+    obs::Counter &deadline_misses;
+
+    static Instruments &get()
+    {
+        static Instruments instance{
+            obs::Registry::global().counter("loadgen.steps"),
+            obs::Registry::global().counter("loadgen.requests"),
+            obs::Registry::global().counter("loadgen.completed"),
+            obs::Registry::global().counter("loadgen.dropped"),
+            obs::Registry::global().counter("loadgen.deadline_misses"),
+        };
+        return instance;
+    }
+};
+
+} // namespace
+
+StepResult
+runStep(const SweepConfig &config, double offeredQps,
+        std::uint64_t stream)
+{
+    if (offeredQps <= 0.0)
+        throw std::invalid_argument("offered rate must be positive");
+    if (config.measureRequests == 0)
+        throw std::invalid_argument(
+            "measurement window must hold at least one request");
+    if (config.percentile <= 0.0 || config.percentile >= 1.0)
+        throw std::invalid_argument("percentile must be in (0, 1)");
+
+    ArrivalConfig arrival = config.arrival;
+    arrival.rate = offeredQps;
+    arrival.stream = stream;
+    ArrivalStream source(arrival);
+
+    const std::uint64_t total = config.preRequests +
+                                config.measureRequests +
+                                config.postRequests;
+    const std::vector<double> arrivals =
+        source.generate(static_cast<std::size_t>(total));
+
+    const queueing::OpenLoopResult sim =
+        queueing::simulateOpenLoop(arrivals, config.servers);
+
+    const std::size_t from =
+        static_cast<std::size_t>(config.preRequests);
+    const std::size_t to =
+        from + static_cast<std::size_t>(config.measureRequests);
+
+    StepResult step;
+    step.offeredQps = offeredQps;
+    step.offered = config.measureRequests;
+    step.completed = sim.completedIn(from, to);
+    step.dropped = sim.droppedIn(from, to);
+    step.deadlineMisses = sim.deadlineMisses;
+    if (step.completed > 0) {
+        step.percentileValue = sim.percentile(config.percentile, from, to);
+        step.meanResponse = sim.meanResponse(from, to);
+    }
+    // Achieved throughput over the measurement window's arrival span
+    // (completions per second of offered time).
+    const double span =
+        arrivals[to - 1] - (from > 0 ? arrivals[from - 1] : 0.0);
+    step.achievedQps =
+        span > 0.0 ? static_cast<double>(step.completed) / span : 0.0;
+
+    Instruments &m = Instruments::get();
+    m.steps.add(1);
+    m.requests.add(total);
+    m.completed.add(step.completed);
+    m.dropped.add(step.dropped);
+    m.deadline_misses.add(step.deadlineMisses);
+    return step;
+}
+
+SweepResult
+runSweep(const SweepConfig &config)
+{
+    if (config.stepSize <= 0.0)
+        throw std::invalid_argument("stepSize must be positive");
+    if (config.startQps <= 0.0)
+        throw std::invalid_argument("startQps must be positive");
+    if (config.stepStop < config.startQps)
+        throw std::invalid_argument("stepStop precedes startQps");
+
+    SweepResult sweep;
+    std::uint64_t stream = 0;
+    // Half-step slack keeps stepStop inclusive despite FP accumulation.
+    for (double qps = config.startQps;
+         qps <= config.stepStop + config.stepSize * 0.5;
+         qps += config.stepSize) {
+        sweep.steps.push_back(runStep(config, qps, stream));
+        ++stream;
+    }
+    return sweep;
+}
+
+std::string
+SweepResult::sampleLog() const
+{
+    std::string log;
+    char line[256];
+    for (const StepResult &s : steps) {
+        std::snprintf(
+            line, sizeof(line),
+            "qps=%.3f p=%.9f mean=%.9f achieved=%.3f offered=%llu "
+            "completed=%llu dropped=%llu deadline_misses=%llu\n",
+            s.offeredQps, s.percentileValue, s.meanResponse,
+            s.achievedQps,
+            static_cast<unsigned long long>(s.offered),
+            static_cast<unsigned long long>(s.completed),
+            static_cast<unsigned long long>(s.dropped),
+            static_cast<unsigned long long>(s.deadlineMisses));
+        log += line;
+    }
+    return log;
+}
+
+} // namespace smite::loadgen

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Open-loop stepped-rate load sweeps over the multi-server DES.
+ *
+ * Modeled on mutated's stepped client: sweep offered QPS from
+ * `startQps` in increments of `stepSize` up to `stepStop`, and at
+ * each step drive `preRequests + measureRequests + postRequests`
+ * arrivals through the server pool, reporting statistics only over
+ * the measurement window — warmup fills the queues to steady state,
+ * cooldown keeps the window's tail from being censored by the end of
+ * the run.
+ *
+ * Every step draws its arrivals from an independent keyed sub-stream
+ * (stream id = step index) of one seed, and service times are keyed
+ * per request, so a sweep is a pure function of its config: the
+ * sample log is byte-identical across repeats and across
+ * SMITE_THREADS settings even when a harness fans steps or whole
+ * sweeps across a thread pool.
+ *
+ * Observability (docs/OBSERVABILITY.md): `loadgen.steps`,
+ * `loadgen.requests`, `loadgen.completed`, `loadgen.dropped`,
+ * `loadgen.deadline_misses` count work across all sweeps in the
+ * process; knee searches (loadgen/knee.h) add `loadgen.knee_probes`.
+ */
+
+#ifndef SMITE_LOADGEN_LOADGEN_H
+#define SMITE_LOADGEN_LOADGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadgen/arrival.h"
+#include "queueing/des.h"
+
+namespace smite::loadgen {
+
+/** One stepped-rate sweep. */
+struct SweepConfig {
+    /**
+     * Arrival-process template; `rate` is overridden per step and
+     * `stream` per step index, everything else (kind, burst shape,
+     * seed) is taken as configured.
+     */
+    ArrivalConfig arrival;
+
+    /**
+     * Server pool driven at every step (service rates, queue bound,
+     * deadline, balancing, service-stream seed).
+     */
+    queueing::OpenLoopConfig servers;
+
+    /** First offered rate (QPS). */
+    double startQps = 100.0;
+
+    /** Offered-rate increment between steps (mutated's step_size). */
+    double stepSize = 100.0;
+
+    /** Last offered rate, inclusive (mutated's step_stop). */
+    double stepStop = 1000.0;
+
+    /** Warmup arrivals discarded before the measurement window. */
+    std::uint64_t preRequests = 1000;
+
+    /** Arrivals inside the measurement window. */
+    std::uint64_t measureRequests = 5000;
+
+    /** Cooldown arrivals after the window (still simulated). */
+    std::uint64_t postRequests = 500;
+
+    /** Percentile reported per step (in (0, 1)). */
+    double percentile = 0.95;
+};
+
+/** Measurement-window statistics of one sweep step. */
+struct StepResult {
+    double offeredQps = 0.0;       ///< arrival rate of this step
+    double percentileValue = 0.0;  ///< windowed p-th percentile (s)
+    double meanResponse = 0.0;     ///< windowed mean sojourn (s)
+    double achievedQps = 0.0;      ///< completions / window span
+    std::uint64_t offered = 0;     ///< window arrivals
+    std::uint64_t completed = 0;   ///< window completions
+    std::uint64_t dropped = 0;     ///< window drops (queue + fault)
+    std::uint64_t deadlineMisses = 0; ///< whole-run deadline misses
+};
+
+/** All steps of one sweep, in offered-rate order. */
+struct SweepResult {
+    std::vector<StepResult> steps;
+
+    /**
+     * Byte-stable text log, one line per step (fixed-precision
+     * printf formatting, no timestamps) — the artifact the tier-1
+     * determinism smoke byte-compares across thread counts.
+     */
+    std::string sampleLog() const;
+};
+
+/**
+ * Simulate one step: @p arrival 's process at `offeredQps` driving
+ * @p servers, with the configured warmup/measure/cooldown windows.
+ * Exposed separately so knee searches can probe single rates.
+ */
+StepResult runStep(const SweepConfig &config, double offeredQps,
+                   std::uint64_t stream);
+
+/** Run the full stepped sweep (serial; steps are independent). */
+SweepResult runSweep(const SweepConfig &config);
+
+} // namespace smite::loadgen
+
+#endif // SMITE_LOADGEN_LOADGEN_H

@@ -2,27 +2,43 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <stdexcept>
+#include <string>
 
 #include "fault/fault.h"
+#include "queueing/keyed_stream.h"
 #include "workload/rng.h"
 
 namespace smite::queueing {
 
+namespace {
+
+/**
+ * Interpolated empirical percentile of an unsorted sample vector
+ * (sorts a copy; shared by both result types).
+ */
 double
-QueueSimResult::percentile(double p) const
+samplePercentile(std::vector<double> samples, double p)
 {
-    if (responseTimes.empty())
+    if (samples.empty())
         throw std::logic_error("no samples");
     if (p <= 0.0 || p >= 1.0)
         throw std::invalid_argument("percentile must be in (0, 1)");
-    std::vector<double> sorted = responseTimes;
-    std::sort(sorted.begin(), sorted.end());
-    const double pos = p * static_cast<double>(sorted.size() - 1);
+    std::sort(samples.begin(), samples.end());
+    const double pos = p * static_cast<double>(samples.size() - 1);
     const size_t lo = static_cast<size_t>(pos);
-    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
     const double frac = pos - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+} // namespace
+
+double
+QueueSimResult::percentile(double p) const
+{
+    return samplePercentile(responseTimes, p);
 }
 
 double
@@ -44,6 +60,13 @@ simulateMm1(double lambda, double mu, std::uint64_t requests,
         throw std::invalid_argument("rates must be positive");
     if (requests == 0)
         throw std::invalid_argument("need at least one request");
+    if (warmupRequests >= requests) {
+        // Checked up front: percentiles over an empty sample set are
+        // meaningless, so a warmup that consumes every request is a
+        // configuration error, not a run that silently "succeeds".
+        throw std::invalid_argument(
+            "warmup consumes all requests (warmupRequests >= requests)");
+    }
 
     workload::Rng rng(seed);
     auto exponential = [&rng](double rate) {
@@ -60,8 +83,7 @@ simulateMm1(double lambda, double mu, std::uint64_t requests,
     const bool chaos = faults.enabled() && faults.armed("des.service");
 
     QueueSimResult result;
-    if (requests > warmupRequests)
-        result.responseTimes.reserve(requests - warmupRequests);
+    result.responseTimes.reserve(requests - warmupRequests);
 
     // FCFS single server: departure(n) =
     //   max(arrival(n), departure(n-1)) + service(n).
@@ -83,8 +105,172 @@ simulateMm1(double lambda, double mu, std::uint64_t requests,
         if (n >= warmupRequests)
             result.responseTimes.push_back(departure - arrival);
     }
-    if (result.responseTimes.empty())
-        throw std::invalid_argument("warmup consumed all requests");
+    return result;
+}
+
+double
+OpenLoopResult::percentile(double p, std::size_t from,
+                           std::size_t to) const
+{
+    std::vector<double> window;
+    const std::size_t end = std::min(to, responseTimes.size());
+    for (std::size_t i = from; i < end; ++i) {
+        if (responseTimes[i] >= 0.0)
+            window.push_back(responseTimes[i]);
+    }
+    return samplePercentile(std::move(window), p);
+}
+
+double
+OpenLoopResult::meanResponse(std::size_t from, std::size_t to) const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    const std::size_t end = std::min(to, responseTimes.size());
+    for (std::size_t i = from; i < end; ++i) {
+        if (responseTimes[i] >= 0.0) {
+            sum += responseTimes[i];
+            ++n;
+        }
+    }
+    if (n == 0)
+        throw std::logic_error("no samples");
+    return sum / static_cast<double>(n);
+}
+
+std::uint64_t
+OpenLoopResult::completedIn(std::size_t from, std::size_t to) const
+{
+    std::uint64_t n = 0;
+    const std::size_t end = std::min(to, responseTimes.size());
+    for (std::size_t i = from; i < end; ++i)
+        n += responseTimes[i] >= 0.0 ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+OpenLoopResult::droppedIn(std::size_t from, std::size_t to) const
+{
+    std::uint64_t n = 0;
+    const std::size_t end = std::min(to, responseTimes.size());
+    for (std::size_t i = from; i < end; ++i)
+        n += responseTimes[i] < 0.0 ? 1 : 0;
+    return n;
+}
+
+OpenLoopResult
+simulateOpenLoop(const std::vector<double> &arrivals,
+                 const OpenLoopConfig &config)
+{
+    if (config.serviceRates.empty())
+        throw std::invalid_argument("need at least one server");
+    for (const double mu : config.serviceRates) {
+        if (mu <= 0.0)
+            throw std::invalid_argument(
+                "service rates must be positive");
+    }
+
+    const std::size_t servers = config.serviceRates.size();
+
+    fault::FaultPlan &faults = fault::FaultPlan::global();
+    const bool chaos_drop =
+        faults.enabled() && faults.armed("des.drop");
+    const bool chaos_stall =
+        faults.enabled() && faults.armed("des.server_stall");
+    // Fault keys carry the simulation seed so two co-located
+    // services chaos-tested in one process draw distinct-but-pinned
+    // fault patterns; with one shared seed (common random numbers)
+    // the patterns coincide by construction.
+    const std::string key_prefix =
+        "q" + std::to_string(config.seed) + "#r";
+
+    // Per-server FCFS state: the departure times of everything
+    // admitted but not yet finished (monotone per server, so a deque
+    // pops expired entries from the front in O(1) amortized), plus
+    // the last departure for the Lindley start-time recursion.
+    std::vector<std::deque<double>> in_flight(servers);
+    std::vector<double> last_departure(servers, 0.0);
+
+    OpenLoopResult result;
+    result.responseTimes.reserve(arrivals.size());
+    result.servedBy.reserve(arrivals.size());
+
+    double prev_arrival = 0.0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const double t = std::max(arrivals[i], prev_arrival);
+        prev_arrival = t;
+        ++result.offered;
+
+        // Retire everything that departed before this arrival — the
+        // queue lengths the balancer sees are point-in-time truth.
+        for (std::size_t s = 0; s < servers; ++s) {
+            auto &q = in_flight[s];
+            while (!q.empty() && q.front() <= t)
+                q.pop_front();
+        }
+
+        if (chaos_drop &&
+            faults.shouldInject("des.drop",
+                                key_prefix + std::to_string(i))) {
+            ++result.dropped;
+            ++result.droppedByFault;
+            result.responseTimes.push_back(OpenLoopResult::kDropped);
+            result.servedBy.push_back(-1);
+            continue;
+        }
+
+        // Balance: least-loaded (ties to the lowest index) or
+        // round-robin by request index.
+        std::size_t chosen = i % servers;
+        if (config.leastLoaded) {
+            chosen = 0;
+            for (std::size_t s = 1; s < servers; ++s) {
+                if (in_flight[s].size() < in_flight[chosen].size())
+                    chosen = s;
+            }
+        }
+
+        if (config.queueCapacity > 0 &&
+            in_flight[chosen].size() >= config.queueCapacity) {
+            ++result.dropped;
+            ++result.droppedQueueFull;
+            result.responseTimes.push_back(OpenLoopResult::kDropped);
+            result.servedBy.push_back(-1);
+            continue;
+        }
+
+        // Service time: one keyed unit-exponential per request,
+        // scaled by the chosen server's (degraded) rate — the same
+        // request re-simulated under a deeper co-location costs
+        // proportionally longer, with no new randomness.
+        double service =
+            keyed::exponentialUnit(keyed::draw(config.seed,
+                                               keyed::kSaltService, i,
+                                               0)) /
+            config.serviceRates[chosen];
+        if (chaos_stall &&
+            faults.shouldInject("des.server_stall",
+                                key_prefix + std::to_string(i) + "#s" +
+                                    std::to_string(chosen))) {
+            const double eps = std::max(
+                0.0, faults.gaussian("des.server_stall",
+                                     key_prefix + std::to_string(i) +
+                                         "#s" + std::to_string(chosen)));
+            service *= 1.0 + eps;
+        }
+
+        const double start = std::max(t, last_departure[chosen]);
+        const double departure = start + service;
+        last_departure[chosen] = departure;
+        in_flight[chosen].push_back(departure);
+
+        const double response = departure - t;
+        ++result.completed;
+        if (config.deadline > 0.0 && response > config.deadline)
+            ++result.deadlineMisses;
+        result.responseTimes.push_back(response);
+        result.servedBy.push_back(static_cast<std::int32_t>(chosen));
+    }
     return result;
 }
 

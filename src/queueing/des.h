@@ -1,19 +1,40 @@
 /**
  * @file
- * Discrete-event simulator for a single-server FCFS queue.
+ * Discrete-event simulators for the tail-latency pipeline.
  *
- * Used two ways: (a) to validate the closed-form M/M/1 percentile
- * formula, and (b) as the "measured" latency of a co-located
- * latency-sensitive service — the service rate observed on the SMT
- * machine (degraded by interference) drives the simulator, and the
- * resulting empirical 90th-percentile latency plays the role of the
- * paper's measured tail latency.
+ * Two engines live here:
+ *
+ * - simulateMm1(): the original closed single-server FCFS M/M/1
+ *   simulation, kept as the validation counterpart of the closed-form
+ *   percentile formula (queueing/mm1.h).
+ *
+ * - simulateOpenLoop(): the production-shaped generalization — an
+ *   event-driven multi-server FCFS queue fed by an *arbitrary*
+ *   open-loop arrival stream (src/loadgen builds Poisson, bursty
+ *   MMPP and diurnal streams). Requests are balanced least-loaded
+ *   across the servers (or round-robin), queues can be bounded with
+ *   drop accounting, per-request deadlines are tracked, and the
+ *   interference-degraded service rates measured by the Lab plug in
+ *   per server. This is the "measured" tail-latency path of
+ *   bench_fig13 and the engine under the knee-finding
+ *   bench_latency_vs_load harness.
+ *
+ * Robustness: three keyed fault sites exercise the queueing path in
+ * chaos runs (docs/ROBUSTNESS.md) — `des.server_stall` stretches
+ * individual service times, `des.drop` loses requests at admission,
+ * and `des.arrival_burst` (wired in loadgen's arrival streams)
+ * compresses inter-arrival gaps. All randomness is keyed per
+ * (seed, stream, occurrence) — see queueing/keyed_stream.h — so
+ * chaos runs and clean runs alike are byte-identical across repeats
+ * and thread counts.
  */
 
 #ifndef SMITE_QUEUEING_DES_H
 #define SMITE_QUEUEING_DES_H
 
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace smite::queueing {
@@ -37,11 +58,111 @@ struct QueueSimResult {
  * @param mu service rate (requests/s)
  * @param requests number of requests to simulate
  * @param seed RNG seed (deterministic for a given seed)
- * @param warmupRequests initial requests discarded from statistics
+ * @param warmupRequests initial requests discarded from statistics;
+ *        must be strictly below @p requests or the sample set would
+ *        be empty (std::invalid_argument)
  */
 QueueSimResult simulateMm1(double lambda, double mu,
                            std::uint64_t requests, std::uint64_t seed = 1,
                            std::uint64_t warmupRequests = 1000);
+
+/**
+ * Configuration of one open-loop multi-server simulation.
+ */
+struct OpenLoopConfig {
+    /**
+     * Interference-degraded service rate of each server instance
+     * (requests/s); one entry per server, all must be positive.
+     */
+    std::vector<double> serviceRates;
+
+    /**
+     * Bound on each server's queue, *including* the request in
+     * service; an arrival finding its chosen server full is dropped.
+     * 0 means unbounded.
+     */
+    std::size_t queueCapacity = 0;
+
+    /**
+     * Per-request deadline in seconds, measured from arrival; a
+     * completed request whose sojourn exceeds it counts as a
+     * deadline miss (it is not aborted — open-loop servers finish
+     * what they started). 0 disables deadline tracking.
+     */
+    double deadline = 0.0;
+
+    /**
+     * Least-loaded balancing: each arrival goes to the server with
+     * the shortest queue (ties to the lowest index). When false,
+     * arrivals round-robin by request index.
+     */
+    bool leastLoaded = true;
+
+    /** Seed of the keyed service-time stream. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Outcome of one open-loop simulation, indexed by offered request in
+ * arrival order so callers can slice warmup / measurement / cooldown
+ * phases by request index.
+ */
+struct OpenLoopResult {
+    /** Sentinel response time of a dropped request. */
+    static constexpr double kDropped = -1.0;
+
+    /** npos for the percentile / mean window bounds. */
+    static constexpr std::size_t kAll =
+        std::numeric_limits<std::size_t>::max();
+
+    /** Per offered request: sojourn time, or kDropped. */
+    std::vector<double> responseTimes;
+    /** Per offered request: serving server, or -1 when dropped. */
+    std::vector<std::int32_t> servedBy;
+
+    std::uint64_t offered = 0;         ///< arrivals presented
+    std::uint64_t completed = 0;       ///< requests served
+    std::uint64_t dropped = 0;         ///< all drops
+    std::uint64_t droppedQueueFull = 0;///< drops on a full bounded queue
+    std::uint64_t droppedByFault = 0;  ///< drops injected by `des.drop`
+    std::uint64_t deadlineMisses = 0;  ///< completions past the deadline
+
+    /**
+     * Empirical p-th percentile of the completed requests whose
+     * arrival index lies in [from, to). @throws std::logic_error when
+     * the window holds no completed sample.
+     */
+    double percentile(double p, std::size_t from = 0,
+                      std::size_t to = kAll) const;
+
+    /** Mean response of the completed requests in [from, to). */
+    double meanResponse(std::size_t from = 0,
+                        std::size_t to = kAll) const;
+
+    /** Completed requests with arrival index in [from, to). */
+    std::uint64_t completedIn(std::size_t from,
+                              std::size_t to = kAll) const;
+
+    /** Dropped requests with arrival index in [from, to). */
+    std::uint64_t droppedIn(std::size_t from,
+                            std::size_t to = kAll) const;
+};
+
+/**
+ * Event-driven open-loop simulation: feed the @p arrivals stream
+ * (absolute arrival times, non-decreasing) through the configured
+ * server pool. Service times are exponential at each server's rate,
+ * drawn from a keyed per-request stream, so two configs that differ
+ * only in service rates consume identical randomness (common random
+ * numbers — the property knee searches rely on).
+ *
+ * Fault sites (active only under an armed SMITE_FAULTS plan):
+ * `des.drop` loses the request at admission; `des.server_stall`
+ * stretches the sampled service time by 1 + max(0, ε),
+ * ε ~ N(0, sigma).
+ */
+OpenLoopResult simulateOpenLoop(const std::vector<double> &arrivals,
+                                const OpenLoopConfig &config);
 
 } // namespace smite::queueing
 

@@ -22,6 +22,24 @@ OnlineScheduler::OnlineScheduler(const Cluster &cluster,
         config_.probeBudget = std::max(1, cluster_.servers() / 4);
     if (config_.headroom < 0.0)
         throw std::invalid_argument("headroom must be non-negative");
+    if (config_.loadAware.enabled) {
+        const LoadAwareConfig &la = config_.loadAware;
+        if (la.baseQps <= 0.0)
+            throw std::invalid_argument(
+                "load-aware admission needs a positive baseQps");
+        if (la.spikeFactor < 1.0)
+            throw std::invalid_argument("spikeFactor must be >= 1");
+        if (la.kneeByPairing.size() != cluster_.pairings_.size())
+            throw std::invalid_argument(
+                "knee table must cover every pairing");
+        const std::size_t depths =
+            static_cast<std::size_t>(cluster_.maxInstances()) + 1;
+        for (const auto &row : la.kneeByPairing) {
+            if (row.size() != depths)
+                throw std::invalid_argument(
+                    "knee table rows must span depths 0..maxInstances");
+        }
+    }
 }
 
 OnlineResult
@@ -59,11 +77,56 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
     const std::size_t n = static_cast<std::size_t>(cluster_.servers());
     const int max_instances = cluster_.maxInstances();
 
+    // Load-aware admission (inert unless enabled; its metrics are
+    // registered lazily so disabled runs leave the registry — and
+    // the report baselines diffed in tier-1 — untouched).
+    const bool load_aware = config_.loadAware.enabled;
+    const LoadAwareConfig &la = config_.loadAware;
+    obs::Counter *load_spikes_ctr = nullptr;
+    obs::Counter *fillers_shed_ctr = nullptr;
+    obs::Counter *load_violations_ctr = nullptr;
+    obs::Gauge *filler_gauge = nullptr;
+    if (load_aware) {
+        load_spikes_ctr =
+            &registry.counter("scheduler.online.load_spikes");
+        fillers_shed_ctr =
+            &registry.counter("scheduler.online.fillers_shed");
+        load_violations_ctr =
+            &registry.counter("scheduler.online.load_violations");
+        filler_gauge =
+            &registry.gauge("scheduler.online.filler_instances");
+    }
+    const bool spike_site =
+        load_aware && faults.enabled() &&
+        faults.armed("des.arrival_burst");
+
+    // Knee of server s at co-location depth d (d = 0 is solo).
+    auto kneeAt = [this](std::size_t s, int depth) {
+        return config_.loadAware
+            .kneeByPairing[static_cast<std::size_t>(
+                cluster_.assignment_[s].pairing)]
+                          [static_cast<std::size_t>(depth)];
+    };
+    // Guaranteed admission never exceeds the deepest co-location
+    // whose measured knee still clears the *design* load.
+    std::vector<int> load_cap(n, max_instances);
+    if (load_aware) {
+        for (std::size_t s = 0; s < n; ++s) {
+            int d = 0;
+            while (d < max_instances &&
+                   kneeAt(s, d + 1) >= la.baseQps)
+                ++d;
+            load_cap[s] = d;
+        }
+    }
+
     // Start from the static predicted placement; everything after is
     // reaction to observations.
     std::vector<int> instances(n, 0);
     for (std::size_t s = 0; s < n; ++s)
-        instances[s] = cluster_.predictedInstancesFor(s, qos_target);
+        instances[s] =
+            std::min(cluster_.predictedInstancesFor(s, qos_target),
+                     load_cap[s]);
 
     // What the policy has learned: the largest instance count each
     // server has not been observed violating at. Caps only shrink, so
@@ -77,6 +140,9 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
     std::vector<int> observed_at(n, -1);
 
     std::vector<bool> down(n, false);
+    // Best-effort filler instances on the idle contexts (load-aware
+    // only): first shed, never guaranteed-protected.
+    std::vector<int> fillers(n, 0);
     OnlineResult result;
     result.timeline.reserve(static_cast<std::size_t>(config_.epochs));
 
@@ -91,9 +157,9 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
             if (!down[s])
                 continue;
             down[s] = false;
-            instances[s] =
-                std::min(cluster_.predictedInstancesFor(s, qos_target),
-                         cap[s]);
+            instances[s] = std::min(
+                {cluster_.predictedInstancesFor(s, qos_target), cap[s],
+                 load_cap[s]});
             observed_at[s] = -1;
             recoveries.add();
             ++stats.recoveries;
@@ -117,6 +183,7 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
                 evicted_batches.push_back(instances[s]);
             }
             instances[s] = 0;
+            fillers[s] = 0;
             observed_at[s] = -1;
         }
 
@@ -130,6 +197,7 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
                 bool placed = false;
                 for (std::size_t s = 0; s < n; ++s) {
                     if (down[s] || instances[s] >= cap[s] ||
+                        instances[s] >= load_cap[s] ||
                         instances[s] >= max_instances)
                         continue;
                     const bool model_ok = cluster_.modelAdmitsOneMore(
@@ -152,10 +220,49 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
             }
         }
 
-        // 4. Observe every live co-location's actual QoS (optionally
-        // through the scheduler.observe noise site) and evict one
-        // instance from every server observed below target, shrinking
-        // its learned cap so the count is never retried.
+        // 3b. Load-aware: determine each server's offered load this
+        // epoch — the design load, or spikeFactor times it when the
+        // keyed `des.arrival_burst` site fires for (epoch, server) —
+        // and make room for any guaranteed instances the churn flow
+        // just placed by shedding fillers (guaranteed work always
+        // wins the contexts). A guaranteed tier whose own knee cannot
+        // carry the offered load is a load violation: it is *counted*
+        // (the operator must resize the tier), never evicted.
+        std::vector<double> offered;
+        if (load_aware) {
+            offered.assign(n, la.baseQps);
+            for (std::size_t s = 0; s < n; ++s) {
+                if (down[s])
+                    continue;
+                if (spike_site &&
+                    faults.shouldInject("des.arrival_burst",
+                                        epochServerKey(epoch, s))) {
+                    offered[s] = la.baseQps * la.spikeFactor;
+                    load_spikes_ctr->add();
+                    ++stats.loadSpikes;
+                }
+                const int fit = max_instances - instances[s];
+                if (fillers[s] > std::max(0, fit)) {
+                    const int shed = fillers[s] - std::max(0, fit);
+                    fillers[s] -= shed;
+                    fillers_shed_ctr->add(
+                        static_cast<std::uint64_t>(shed));
+                    stats.fillersShed += shed;
+                }
+                if (kneeAt(s, instances[s]) < offered[s]) {
+                    load_violations_ctr->add();
+                    ++stats.loadViolations;
+                }
+            }
+        }
+
+        // 4. Observe every live *guaranteed* co-location's actual QoS
+        // (optionally through the scheduler.observe noise site) and
+        // evict one instance from every server observed below target,
+        // shrinking its learned cap so the count is never retried.
+        // Fillers carry no batch-QoS guarantee — that is what makes
+        // them best-effort — so they live outside this loop; the knee
+        // table (step 6) is the constraint that governs them.
         for (std::size_t s = 0; s < n; ++s) {
             if (down[s] || instances[s] <= 0)
                 continue;
@@ -199,6 +306,7 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
             std::vector<Candidate> candidates;
             for (std::size_t s = 0; s < n; ++s) {
                 if (down[s] || instances[s] >= cap[s] ||
+                    instances[s] >= load_cap[s] ||
                     instances[s] >= max_instances)
                     continue;
                 if (instances[s] == 0) {
@@ -221,27 +329,69 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
             for (std::size_t i = 0; i < budget; ++i) {
                 const std::size_t s = candidates[i].server;
                 ++instances[s];
+                if (load_aware &&
+                    instances[s] + fillers[s] > max_instances) {
+                    // The probe takes a context a filler occupied.
+                    --fillers[s];
+                    fillers_shed_ctr->add();
+                    ++stats.fillersShed;
+                }
                 observed_at[s] = -1;
                 probes.add();
                 ++stats.probes;
             }
         }
 
-        // Epoch bookkeeping for the timeline and gauges.
+        // 6. Load-aware filler management: on every live server,
+        // shed fillers whose depth the knee of this epoch's offered
+        // load no longer carries, then grow them while one more
+        // still clears it — best-effort work soaks up whatever
+        // headroom the spike left, and gives it back first.
+        if (load_aware) {
+            for (std::size_t s = 0; s < n; ++s) {
+                if (down[s]) {
+                    fillers[s] = 0;
+                    continue;
+                }
+                while (fillers[s] > 0 &&
+                       (instances[s] + fillers[s] > max_instances ||
+                        kneeAt(s, std::min(instances[s] + fillers[s],
+                                           max_instances)) <
+                            offered[s])) {
+                    --fillers[s];
+                    fillers_shed_ctr->add();
+                    ++stats.fillersShed;
+                }
+                while (instances[s] + fillers[s] < max_instances &&
+                       kneeAt(s, instances[s] + fillers[s] + 1) >=
+                           offered[s]) {
+                    ++fillers[s];
+                }
+            }
+        }
+
+        // Epoch bookkeeping for the timeline and gauges. Fillers are
+        // busy contexts too (that is their point), so they count in
+        // utilization; with load-aware off they are identically zero.
         int down_count = 0;
         double total = 0.0;
+        double filler_total = 0.0;
         for (std::size_t s = 0; s < n; ++s) {
             down_count += down[s] ? 1 : 0;
             total += instances[s];
+            filler_total += fillers[s];
         }
         stats.liveServers = static_cast<int>(n) - down_count;
         stats.totalInstances = total;
+        stats.fillerInstances = filler_total;
         stats.utilization =
             (static_cast<double>(stats.liveServers) *
                  cluster_.latencyThreads_ +
-             total) /
+             total + filler_total) /
             (static_cast<double>(n) * cluster_.contextsPerServer_);
         util_gauge.set(stats.utilization);
+        if (filler_gauge != nullptr)
+            filler_gauge->set(filler_total);
         result.timeline.push_back(stats);
     }
 

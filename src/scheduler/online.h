@@ -29,7 +29,14 @@
  *      learned admissible count for that server, and
  *   5. probes one additional instance on up to `probeBudget` servers
  *      observed with at least `headroom` QoS slack (never in the
- *      final epoch, so every probe gets observed at least once).
+ *      final epoch, so every probe gets observed at least once), and
+ *   6. with load-aware admission enabled (LoadAwareConfig), caps
+ *      guaranteed placement at the measured knee for the design load
+ *      and manages best-effort filler instances on the idle
+ *      contexts: fillers grow to the knee of the current offered
+ *      load and are shed — before any guaranteed instance is touched
+ *      — when a keyed `des.arrival_burst` load spike pushes a server
+ *      past its knee (graceful degradation).
  *
  * Convergence: per-server learned caps only shrink, and shrink
  * exactly when an observation contradicts the current count, so with
@@ -57,6 +64,39 @@
 
 namespace smite::scheduler {
 
+/**
+ * Optional load-aware admission (ISSUE 8): feed the scheduler the
+ * knee QPS measured by the loadgen harness (bench_latency_vs_load /
+ * loadgen::findKnee) per (pairing, co-location depth), and it
+ * (a) caps guaranteed admission at the deepest co-location whose
+ * knee still clears the design load, and (b) fills the remaining
+ * idle contexts with *best-effort filler* instances, shedding them —
+ * never guaranteed instances — when a fault-injected load spike
+ * (`des.arrival_burst`, keyed per epoch/server) pushes the offered
+ * load past the knee of the current depth. The knee table is plain
+ * data, so the scheduler stays independent of the loadgen library.
+ */
+struct LoadAwareConfig {
+    /** Off by default: disabled runs are byte-identical to before. */
+    bool enabled = false;
+
+    /** Design offered load per server (QPS); must be positive. */
+    double baseQps = 0.0;
+
+    /**
+     * Offered-load multiplier on a server hit by a keyed
+     * `des.arrival_burst` spike this epoch (>= 1).
+     */
+    double spikeFactor = 2.0;
+
+    /**
+     * kneeByPairing[pairing][depth]: max QPS meeting the tail target
+     * with `depth` co-located batch instances (depth 0 = solo), one
+     * row per Cluster pairing, each of size maxInstances + 1.
+     */
+    std::vector<std::vector<double>> kneeByPairing;
+};
+
 /** Tuning knobs of the online policy. */
 struct OnlineConfig {
     /** Decision epochs to run (must be positive). */
@@ -71,6 +111,8 @@ struct OnlineConfig {
      * is probed with one more instance.
      */
     double headroom = 0.02;
+    /** Load-aware admission; inert unless loadAware.enabled. */
+    LoadAwareConfig loadAware;
 };
 
 /** Telemetry of one OnlineScheduler decision epoch. */
@@ -85,8 +127,13 @@ struct EpochStats {
     int qosEvictions = 0;      ///< instances evicted on observed QoS
     int probes = 0;            ///< probe instances placed
     int liveServers = 0;       ///< servers up at epoch end
-    double totalInstances = 0; ///< batch instances at epoch end
+    double totalInstances = 0; ///< guaranteed batch instances at end
     double utilization = 0;    ///< live-cluster utilization at end
+    // Load-aware admission (all zero when loadAware.enabled is off):
+    int loadSpikes = 0;        ///< servers spiked by des.arrival_burst
+    int fillersShed = 0;       ///< filler instances shed this epoch
+    int loadViolations = 0;    ///< guaranteed tiers past their knee
+    double fillerInstances = 0;///< best-effort fillers at epoch end
 };
 
 /** Final placement plus the per-epoch trajectory that produced it. */

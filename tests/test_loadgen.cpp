@@ -1,0 +1,610 @@
+/**
+ * @file
+ * Tests for the open-loop load subsystem: arrival processes, the
+ * multi-server DES, stepped sweeps, knee searches, the `des.*` chaos
+ * sites, and the scheduler's load-aware admission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/parallel.h"
+#include "fault/fault.h"
+#include "loadgen/knee.h"
+#include "loadgen/loadgen.h"
+#include "obs/metrics.h"
+#include "scheduler/online.h"
+
+namespace smite::loadgen {
+namespace {
+
+/** Mean rate over the first @p n arrivals of @p config. */
+double
+meanRate(const ArrivalConfig &config, std::size_t n)
+{
+    ArrivalStream stream(config);
+    const auto times = stream.generate(n);
+    return static_cast<double>(n) / times.back();
+}
+
+class FaultGuard
+{
+  public:
+    FaultGuard() { fault::FaultPlan::global().reset(); }
+    ~FaultGuard() { fault::FaultPlan::global().reset(); }
+};
+
+// --- Arrival processes ----------------------------------------------
+
+TEST(Arrival, SameConfigReplaysByteIdentically)
+{
+    ArrivalConfig config;
+    config.rate = 500.0;
+    config.seed = 9;
+    ArrivalStream a(config);
+    ArrivalStream b(config);
+    const auto ta = a.generate(2000);
+    const auto tb = b.generate(2000);
+    EXPECT_EQ(ta, tb); // exact, not approximate
+}
+
+TEST(Arrival, StreamsAreIndependent)
+{
+    ArrivalConfig config;
+    config.seed = 9;
+    ArrivalConfig other = config;
+    other.stream = 1;
+    EXPECT_NE(ArrivalStream(config).generate(100),
+              ArrivalStream(other).generate(100));
+}
+
+TEST(Arrival, AllKindsPreserveTheMeanRate)
+{
+    ArrivalConfig config;
+    config.rate = 1000.0;
+    config.seed = 4;
+    EXPECT_NEAR(meanRate(config, 200000), 1000.0, 20.0);
+
+    config.kind = ArrivalKind::kOnOff;
+    EXPECT_NEAR(meanRate(config, 200000), 1000.0, 50.0);
+
+    config.kind = ArrivalKind::kDiurnal;
+    config.profile = {1.0, 3.0, 2.0, 0.5};
+    EXPECT_NEAR(meanRate(config, 200000), 1000.0, 30.0);
+}
+
+TEST(Arrival, OnOffIsBurstierThanPoisson)
+{
+    // Dispersion of per-window arrival counts: ~1 for Poisson,
+    // substantially above 1 for the two-state MMPP.
+    auto dispersion = [](const ArrivalConfig &config) {
+        ArrivalStream stream(config);
+        const auto times = stream.generate(100000);
+        const double window = 0.01;
+        std::vector<double> counts;
+        std::size_t i = 0;
+        for (double t = window; t < times.back(); t += window) {
+            double c = 0;
+            while (i < times.size() && times[i] < t) {
+                ++c;
+                ++i;
+            }
+            counts.push_back(c);
+        }
+        double mean = 0;
+        for (double c : counts)
+            mean += c;
+        mean /= static_cast<double>(counts.size());
+        double var = 0;
+        for (double c : counts)
+            var += (c - mean) * (c - mean);
+        var /= static_cast<double>(counts.size());
+        return var / mean;
+    };
+    ArrivalConfig poisson;
+    poisson.rate = 2000.0;
+    poisson.seed = 5;
+    ArrivalConfig onoff = poisson;
+    onoff.kind = ArrivalKind::kOnOff;
+    EXPECT_LT(dispersion(poisson), 1.5);
+    EXPECT_GT(dispersion(onoff), 2.0);
+}
+
+TEST(Arrival, DiurnalFollowsTheProfile)
+{
+    ArrivalConfig config;
+    config.kind = ArrivalKind::kDiurnal;
+    config.rate = 1000.0;
+    config.profile = {3.0, 1.0}; // first half-period 3x the second
+    config.periodSeconds = 1.0;
+    config.seed = 11;
+    ArrivalStream stream(config);
+    const auto times = stream.generate(100000);
+    std::size_t first_half = 0, second_half = 0;
+    for (double t : times) {
+        const double phase = std::fmod(t, 1.0);
+        (phase < 0.5 ? first_half : second_half) += 1;
+    }
+    const double ratio = static_cast<double>(first_half) /
+                         static_cast<double>(second_half);
+    EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(Arrival, RejectsNonRealizableConfigs)
+{
+    ArrivalConfig config;
+    config.rate = 0.0;
+    EXPECT_THROW(ArrivalStream{config}, std::invalid_argument);
+
+    config = ArrivalConfig{};
+    config.kind = ArrivalKind::kOnOff;
+    config.burstFactor = 5.0;
+    config.onFraction = 0.5; // burstFactor * onFraction > 1
+    EXPECT_THROW(ArrivalStream{config}, std::invalid_argument);
+
+    config = ArrivalConfig{};
+    config.kind = ArrivalKind::kDiurnal; // empty profile
+    EXPECT_THROW(ArrivalStream{config}, std::invalid_argument);
+}
+
+// --- Open-loop DES ---------------------------------------------------
+
+TEST(OpenLoop, BoundedQueueDropsAndAccounts)
+{
+    ArrivalConfig arrival;
+    arrival.rate = 3000.0; // 1.5x the service rate: heavy overload
+    arrival.seed = 3;
+    queueing::OpenLoopConfig config;
+    config.serviceRates = {2000.0};
+    config.queueCapacity = 10;
+    config.seed = 3;
+    const auto result = queueing::simulateOpenLoop(
+        ArrivalStream(arrival).generate(20000), config);
+    EXPECT_GT(result.droppedQueueFull, 0u);
+    EXPECT_EQ(result.dropped,
+              result.droppedQueueFull + result.droppedByFault);
+    EXPECT_EQ(result.offered, result.completed + result.dropped);
+    EXPECT_EQ(result.responseTimes.size(), 20000u);
+    // A bounded queue bounds the sojourn: <= capacity service times,
+    // so the p99 stays far below the unbounded overload divergence.
+    EXPECT_LT(result.percentile(0.99), 0.1);
+}
+
+TEST(OpenLoop, DeadlineMissesAreCounted)
+{
+    ArrivalConfig arrival;
+    arrival.rate = 1800.0;
+    arrival.seed = 5;
+    queueing::OpenLoopConfig config;
+    config.serviceRates = {2000.0};
+    config.deadline = 0.002;
+    config.seed = 5;
+    const auto result = queueing::simulateOpenLoop(
+        ArrivalStream(arrival).generate(20000), config);
+    EXPECT_GT(result.deadlineMisses, 0u);
+    EXPECT_LT(result.deadlineMisses, result.completed);
+}
+
+TEST(OpenLoop, LeastLoadedBeatsRoundRobinOnTail)
+{
+    ArrivalConfig arrival;
+    arrival.rate = 3000.0;
+    arrival.seed = 7;
+    const auto arrivals = ArrivalStream(arrival).generate(40000);
+    queueing::OpenLoopConfig config;
+    config.serviceRates = {2000.0, 2000.0};
+    config.seed = 7;
+    const auto balanced = queueing::simulateOpenLoop(arrivals, config);
+    config.leastLoaded = false;
+    const auto rr = queueing::simulateOpenLoop(arrivals, config);
+    // Both serve everything (no bound), but least-loaded smooths the
+    // queues and cannot lose on the tail.
+    EXPECT_LE(balanced.percentile(0.99), rr.percentile(0.99));
+    int servers_used[2] = {0, 0};
+    for (const auto s : balanced.servedBy)
+        servers_used[s] += 1;
+    EXPECT_GT(servers_used[0], 0);
+    EXPECT_GT(servers_used[1], 0);
+}
+
+TEST(OpenLoop, CommonRandomNumbersMakeDegradationMonotone)
+{
+    // Same seed, degraded service rate: every single response time
+    // must be >= its counterpart (the knee search's foundation).
+    ArrivalConfig arrival;
+    arrival.rate = 1200.0;
+    arrival.seed = 13;
+    const auto arrivals = ArrivalStream(arrival).generate(20000);
+    queueing::OpenLoopConfig fast;
+    fast.serviceRates = {2000.0};
+    fast.seed = 13;
+    queueing::OpenLoopConfig slow = fast;
+    slow.serviceRates = {1600.0};
+    const auto f = queueing::simulateOpenLoop(arrivals, fast);
+    const auto s = queueing::simulateOpenLoop(arrivals, slow);
+    for (std::size_t i = 0; i < f.responseTimes.size(); ++i)
+        EXPECT_GE(s.responseTimes[i], f.responseTimes[i]);
+}
+
+// --- Stepped sweeps --------------------------------------------------
+
+SweepConfig
+smallSweep()
+{
+    SweepConfig config;
+    config.arrival.seed = 21;
+    config.servers.serviceRates = {2000.0};
+    config.servers.seed = 21;
+    config.startQps = 400.0;
+    config.stepSize = 400.0;
+    config.stepStop = 1600.0;
+    config.preRequests = 500;
+    config.measureRequests = 3000;
+    config.postRequests = 100;
+    return config;
+}
+
+TEST(Sweep, LatencyRisesWithOfferedLoad)
+{
+    const SweepResult result = runSweep(smallSweep());
+    ASSERT_EQ(result.steps.size(), 4u);
+    EXPECT_LT(result.steps.front().percentileValue,
+              result.steps.back().percentileValue);
+    for (const auto &step : result.steps)
+        EXPECT_EQ(step.completed, step.offered);
+}
+
+TEST(Sweep, SampleLogIsByteIdenticalAcrossRepeats)
+{
+    const std::string log = runSweep(smallSweep()).sampleLog();
+    EXPECT_FALSE(log.empty());
+    EXPECT_EQ(log, runSweep(smallSweep()).sampleLog());
+}
+
+TEST(Sweep, SampleLogIsThreadCountInvariant)
+{
+    // Sweeps fanned across a pool must equal the serial run, byte
+    // for byte, whatever worker executes which sweep.
+    const int kSweeps = 8;
+    std::vector<std::string> parallel_logs(kSweeps);
+    core::parallelFor(kSweeps, [&](std::size_t i) {
+        SweepConfig config = smallSweep();
+        config.arrival.seed = 100 + i;
+        config.servers.seed = 100 + i;
+        parallel_logs[i] = runSweep(config).sampleLog();
+    });
+    for (int i = 0; i < kSweeps; ++i) {
+        SweepConfig config = smallSweep();
+        config.arrival.seed = 100 + static_cast<std::uint64_t>(i);
+        config.servers.seed = 100 + static_cast<std::uint64_t>(i);
+        EXPECT_EQ(parallel_logs[static_cast<std::size_t>(i)],
+                  runSweep(config).sampleLog());
+    }
+}
+
+TEST(Sweep, PublishesLoadgenCounters)
+{
+    obs::Counter &steps =
+        obs::Registry::global().counter("loadgen.steps");
+    obs::Counter &requests =
+        obs::Registry::global().counter("loadgen.requests");
+    const std::uint64_t steps_before = steps.value();
+    const std::uint64_t requests_before = requests.value();
+    runSweep(smallSweep());
+    EXPECT_EQ(steps.value() - steps_before, 4u);
+    EXPECT_EQ(requests.value() - requests_before, 4u * 3600u);
+}
+
+// --- Knee search -----------------------------------------------------
+
+KneeConfig
+kneeConfig(double mu)
+{
+    KneeConfig config;
+    config.probe = smallSweep();
+    config.probe.servers.serviceRates = {mu};
+    config.probe.preRequests = 1000;
+    config.probe.measureRequests = 10000;
+    config.probe.percentile = 0.95;
+    config.targetLatency = 0.006;
+    config.qpsLo = 100.0;
+    config.tolerance = 4.0;
+    return config;
+}
+
+TEST(Knee, MatchesTheClosedFormPrediction)
+{
+    // M/M/1: p95(lambda) = -ln(0.05) / (mu - lambda) hits the target
+    // at lambda* = mu - (-ln(0.05)) / target.
+    const double mu = 2000.0;
+    const KneeResult result = findKnee(kneeConfig(mu));
+    const double predicted = mu + std::log(0.05) / 0.006;
+    EXPECT_NEAR(result.kneeQps, predicted, 0.05 * predicted);
+    EXPECT_LE(result.latencyAtKnee, 0.006);
+    EXPECT_GT(result.probes, 2u);
+}
+
+TEST(Knee, MonotoneInServiceRate)
+{
+    const KneeResult fast = findKnee(kneeConfig(2000.0));
+    const KneeResult medium = findKnee(kneeConfig(1700.0));
+    const KneeResult slow = findKnee(kneeConfig(1400.0));
+    EXPECT_GT(fast.kneeQps, medium.kneeQps);
+    EXPECT_GT(medium.kneeQps, slow.kneeQps);
+}
+
+TEST(Knee, ReportsZeroWhenTheBracketFails)
+{
+    KneeConfig config = kneeConfig(2000.0);
+    config.targetLatency = 1e-6; // unmeetable
+    const KneeResult result = findKnee(config);
+    EXPECT_EQ(result.kneeQps, 0.0);
+}
+
+// --- des.* chaos sites ----------------------------------------------
+
+TEST(Chaos, DesSitesAreDeterministicAndCounted)
+{
+    FaultGuard guard;
+    fault::FaultPlan &faults = fault::FaultPlan::global();
+
+    const SweepConfig config = smallSweep();
+    const std::string baseline = runSweep(config).sampleLog();
+
+    faults.arm("des.drop", fault::SiteSpec{.probability = 0.01,
+                                           .seed = 41});
+    faults.arm("des.server_stall",
+               fault::SiteSpec{.probability = 0.05,
+                               .seed = 43,
+                               .sigma = 0.5});
+    faults.arm("des.arrival_burst",
+               fault::SiteSpec{.probability = 0.02,
+                               .seed = 47,
+                               .sigma = 1.0});
+
+    const std::string chaos_a = runSweep(config).sampleLog();
+    const std::string chaos_b = runSweep(config).sampleLog();
+    // Pinned plan: byte-identical across repeats, different from the
+    // clean run, with every site's injection counter live.
+    EXPECT_EQ(chaos_a, chaos_b);
+    EXPECT_NE(chaos_a, baseline);
+    obs::Registry &registry = obs::Registry::global();
+    EXPECT_GT(registry.counter("fault.des.drop.injected").value(), 0u);
+    EXPECT_GT(
+        registry.counter("fault.des.server_stall.injected").value(),
+        0u);
+    EXPECT_GT(
+        registry.counter("fault.des.arrival_burst.injected").value(),
+        0u);
+
+    // Disarmed again, the subsystem returns to the clean bytes: the
+    // fault layer at rest changes nothing.
+    faults.reset();
+    EXPECT_EQ(runSweep(config).sampleLog(), baseline);
+}
+
+TEST(Chaos, DropSiteDropsAndStallSiteStretches)
+{
+    FaultGuard guard;
+    fault::FaultPlan &faults = fault::FaultPlan::global();
+
+    ArrivalConfig arrival;
+    arrival.rate = 1000.0;
+    arrival.seed = 51;
+    const auto arrivals = ArrivalStream(arrival).generate(10000);
+    queueing::OpenLoopConfig config;
+    config.serviceRates = {2000.0};
+    config.seed = 51;
+    const auto clean = queueing::simulateOpenLoop(arrivals, config);
+
+    faults.arm("des.drop",
+               fault::SiteSpec{.probability = 0.05, .seed = 53});
+    const auto dropped = queueing::simulateOpenLoop(arrivals, config);
+    EXPECT_GT(dropped.droppedByFault, 0u);
+    EXPECT_EQ(dropped.offered,
+              dropped.completed + dropped.dropped);
+    faults.reset();
+
+    faults.arm("des.server_stall",
+               fault::SiteSpec{.probability = 0.10,
+                               .seed = 57,
+                               .sigma = 1.0});
+    const auto stalled = queueing::simulateOpenLoop(arrivals, config);
+    EXPECT_EQ(stalled.completed, clean.completed);
+    // Stalls only stretch: every response >= the clean counterpart.
+    for (std::size_t i = 0; i < clean.responseTimes.size(); ++i)
+        EXPECT_GE(stalled.responseTimes[i], clean.responseTimes[i]);
+    EXPECT_GT(stalled.percentile(0.99), clean.percentile(0.99));
+}
+
+// --- Load-aware online scheduling -----------------------------------
+
+scheduler::Pairing
+linearPairing(double per_instance, int max_instances = 6)
+{
+    scheduler::Pairing p;
+    p.latencyApp = "svc";
+    p.batchApp = "batch";
+    for (int k = 1; k <= max_instances; ++k) {
+        scheduler::CoLocationOption option;
+        option.actualQos = 1.0 - per_instance * k;
+        option.predictedQos = option.actualQos;
+        p.byInstances.push_back(option);
+    }
+    return p;
+}
+
+/** Knee row: linear decay from @p solo by @p per_depth per depth. */
+std::vector<double>
+linearKnees(double solo, double per_depth, int max_instances = 6)
+{
+    std::vector<double> row;
+    for (int d = 0; d <= max_instances; ++d)
+        row.push_back(solo - per_depth * d);
+    return row;
+}
+
+TEST(LoadAware, ValidatesItsConfiguration)
+{
+    const scheduler::Cluster cluster(
+        {linearPairing(0.02)}, {"svc"}, 10);
+    scheduler::OnlineConfig config;
+    config.loadAware.enabled = true;
+    config.loadAware.baseQps = 0.0; // invalid
+    config.loadAware.kneeByPairing = {linearKnees(1500, 100)};
+    EXPECT_THROW(scheduler::OnlineScheduler(cluster, config),
+                 std::invalid_argument);
+    config.loadAware.baseQps = 400.0;
+    config.loadAware.kneeByPairing.clear(); // missing table
+    EXPECT_THROW(scheduler::OnlineScheduler(cluster, config),
+                 std::invalid_argument);
+    config.loadAware.kneeByPairing = {{1500, 1400}}; // short row
+    EXPECT_THROW(scheduler::OnlineScheduler(cluster, config),
+                 std::invalid_argument);
+}
+
+TEST(LoadAware, DisabledMatchesBaselineExactly)
+{
+    FaultGuard guard;
+    fault::FaultPlan::global().arm(
+        "server.fail", fault::SiteSpec{.probability = 0.05,
+                                       .seed = 61});
+    const scheduler::Cluster cluster(
+        {linearPairing(0.02)}, {"svc"}, 100);
+    scheduler::OnlineConfig config;
+    config.epochs = 10;
+    const auto baseline =
+        scheduler::OnlineScheduler(cluster, config).run(0.90);
+    config.loadAware.kneeByPairing = {linearKnees(1500, 100)};
+    config.loadAware.baseQps = 400.0;
+    // Not enabled: the table is inert and the run identical.
+    const auto inert =
+        scheduler::OnlineScheduler(cluster, config).run(0.90);
+    ASSERT_EQ(baseline.timeline.size(), inert.timeline.size());
+    for (std::size_t e = 0; e < baseline.timeline.size(); ++e) {
+        EXPECT_EQ(baseline.timeline[e].totalInstances,
+                  inert.timeline[e].totalInstances);
+        EXPECT_EQ(baseline.timeline[e].utilization,
+                  inert.timeline[e].utilization);
+        EXPECT_EQ(inert.timeline[e].fillerInstances, 0.0);
+        EXPECT_EQ(inert.timeline[e].fillersShed, 0);
+        EXPECT_EQ(inert.timeline[e].loadSpikes, 0);
+    }
+    EXPECT_EQ(baseline.final.totalInstances,
+              inert.final.totalInstances);
+}
+
+TEST(LoadAware, KneeCapsGuaranteedAdmission)
+{
+    // QoS alone would admit 5 instances (2%/instance at target 0.90),
+    // but the knee table only carries the base load to depth 3.
+    const scheduler::Cluster cluster(
+        {linearPairing(0.02)}, {"svc"}, 50);
+    scheduler::OnlineConfig config;
+    config.epochs = 4;
+    config.loadAware.enabled = true;
+    config.loadAware.baseQps = 400.0;
+    // knee(3) = 500 >= 400 > knee(4) = 300.
+    config.loadAware.kneeByPairing = {linearKnees(1100, 200)};
+    const auto run =
+        scheduler::OnlineScheduler(cluster, config).run(0.90);
+    // 50 servers x depth 3 guaranteed; fillers cannot exceed the
+    // knee either, so the total stays at the load cap.
+    EXPECT_EQ(run.timeline.back().totalInstances, 150.0);
+    EXPECT_EQ(run.timeline.back().fillerInstances, 0.0);
+    EXPECT_EQ(run.final.violatedServers, 0);
+}
+
+TEST(LoadAware, FillersPackIdleContextsAtBaseLoad)
+{
+    const scheduler::Cluster cluster(
+        {linearPairing(0.04)}, {"svc"}, 50);
+    scheduler::OnlineConfig config;
+    config.epochs = 6;
+    config.loadAware.enabled = true;
+    config.loadAware.baseQps = 400.0;
+    // Generous knees: depth 6 still carries 900 QPS.
+    config.loadAware.kneeByPairing = {linearKnees(1500, 100)};
+    const auto run =
+        scheduler::OnlineScheduler(cluster, config).run(0.90);
+    const auto &last = run.timeline.back();
+    // QoS admits 2 guaranteed (4%/instance); fillers take the rest.
+    EXPECT_EQ(last.totalInstances, 100.0);
+    EXPECT_EQ(last.fillerInstances, 200.0);
+    EXPECT_EQ(last.loadViolations, 0);
+}
+
+TEST(LoadAware, SpikesShedFillersNeverGuaranteed)
+{
+    FaultGuard guard;
+    // Intermittent spikes: base offered 400 fits depth 6 (knee(6) =
+    // 700), a 2x spike (800) only depth 5 (knee(5) = 800). Spiked
+    // servers shed one filler; calm epochs grow it back.
+    fault::FaultPlan::global().arm(
+        "des.arrival_burst",
+        fault::SiteSpec{.probability = 0.5, .seed = 67, .sigma = 0.5});
+    const scheduler::Cluster cluster(
+        {linearPairing(0.04)}, {"svc"}, 50);
+    scheduler::OnlineConfig config;
+    config.epochs = 6;
+    // Unreachable headroom suppresses QoS probes: the test isolates
+    // the filler dynamics from probe/evict convergence noise.
+    config.headroom = 0.5;
+    config.loadAware.enabled = true;
+    config.loadAware.baseQps = 400.0;
+    config.loadAware.spikeFactor = 2.0;
+    config.loadAware.kneeByPairing = {linearKnees(1300, 100)};
+    const auto run =
+        scheduler::OnlineScheduler(cluster, config).run(0.90);
+    int spikes = 0, shed = 0, load_violations = 0;
+    for (const auto &e : run.timeline) {
+        spikes += e.loadSpikes;
+        shed += e.fillersShed;
+        load_violations += e.loadViolations;
+        // Guaranteed tier (2 instances per server) is untouched.
+        EXPECT_EQ(e.totalInstances, 100.0);
+        // Per-server fillers stay between the spike depth (3 fillers)
+        // and the calm depth (4 fillers).
+        EXPECT_GE(e.fillerInstances, 150.0);
+        EXPECT_LE(e.fillerInstances, 200.0);
+    }
+    EXPECT_GT(spikes, 0);
+    EXPECT_LT(spikes, 6 * 50);
+    // Graceful degradation is exercised, never at the guaranteed
+    // tier's expense.
+    EXPECT_GT(shed, 0);
+    EXPECT_EQ(load_violations, 0);
+    EXPECT_EQ(run.final.violatedServers, 0);
+}
+
+TEST(LoadAware, UndersizedGuaranteedKneeIsCountedNotEvicted)
+{
+    FaultGuard guard;
+    fault::FaultPlan::global().arm(
+        "des.arrival_burst",
+        fault::SiteSpec{.probability = 1.0, .seed = 71, .sigma = 0.5});
+    const scheduler::Cluster cluster(
+        {linearPairing(0.02)}, {"svc"}, 20);
+    scheduler::OnlineConfig config;
+    config.epochs = 3;
+    config.loadAware.enabled = true;
+    config.loadAware.baseQps = 400.0;
+    config.loadAware.spikeFactor = 2.0;
+    // Base load fits depth 5 (knee 450), but the spike (800) exceeds
+    // even knee(5): the guaranteed tier itself is past its knee.
+    config.loadAware.kneeByPairing = {linearKnees(1450, 200)};
+    const auto run =
+        scheduler::OnlineScheduler(cluster, config).run(0.90);
+    int load_violations = 0;
+    for (const auto &e : run.timeline) {
+        load_violations += e.loadViolations;
+        // Counted, never evicted: the guaranteed tier stays put.
+        EXPECT_EQ(e.totalInstances, 100.0);
+    }
+    EXPECT_GT(load_violations, 0);
+}
+
+} // namespace
+} // namespace smite::loadgen

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "loadgen/arrival.h"
 #include "queueing/des.h"
 #include "queueing/mm1.h"
 
@@ -101,6 +102,15 @@ TEST(QueueSim, RejectsBadArguments)
                  std::invalid_argument);  // warmup eats everything
 }
 
+TEST(QueueSim, WarmupBoundary)
+{
+    // warmup == requests leaves nothing to measure; one fewer works.
+    EXPECT_THROW(simulateMm1(50.0, 100.0, 1000, 1, 1000),
+                 std::invalid_argument);
+    const auto r = simulateMm1(50.0, 100.0, 1000, 1, 999);
+    EXPECT_EQ(r.responseTimes.size(), 1u);
+}
+
 TEST(QueueSim, Deterministic)
 {
     const auto a = simulateMm1(50, 100, 5000, 3);
@@ -141,6 +151,53 @@ TEST(QueueSim, MeanMatchesClosedForm)
     const Mm1 q(600.0, 1000.0);
     const auto sim = simulateMm1(600, 1000, 400000, 5);
     EXPECT_NEAR(sim.meanResponse() / q.meanResponseTime(), 1.0, 0.05);
+}
+
+TEST(OpenLoop, SingleServerMatchesClosedForm)
+{
+    // The generalized open-loop DES fed a keyed Poisson stream must
+    // reproduce the M/M/1 closed form, exactly like simulateMm1.
+    const double lambda = 700.0, mu = 1000.0;
+    loadgen::ArrivalConfig arrival;
+    arrival.rate = lambda;
+    arrival.seed = 19;
+    OpenLoopConfig config;
+    config.serviceRates = {mu};
+    config.seed = 19;
+    const auto sim = simulateOpenLoop(
+        loadgen::ArrivalStream(arrival).generate(400000), config);
+    EXPECT_EQ(sim.completed, sim.offered);
+    const Mm1 q(lambda, mu);
+    EXPECT_NEAR(sim.percentile(0.9, 1000) / q.percentileLatency(0.9),
+                1.0, 0.06);
+    EXPECT_NEAR(sim.meanResponse(1000) / q.meanResponseTime(), 1.0,
+                0.05);
+}
+
+TEST(OpenLoop, Deterministic)
+{
+    loadgen::ArrivalConfig arrival;
+    arrival.rate = 800.0;
+    arrival.seed = 23;
+    const auto arrivals =
+        loadgen::ArrivalStream(arrival).generate(10000);
+    OpenLoopConfig config;
+    config.serviceRates = {1000.0, 1000.0};
+    config.seed = 23;
+    const auto a = simulateOpenLoop(arrivals, config);
+    const auto b = simulateOpenLoop(arrivals, config);
+    EXPECT_EQ(a.responseTimes, b.responseTimes);
+    EXPECT_EQ(a.servedBy, b.servedBy);
+}
+
+TEST(OpenLoop, RejectsBadServiceRates)
+{
+    OpenLoopConfig config;
+    EXPECT_THROW(simulateOpenLoop({0.0}, config),
+                 std::invalid_argument); // no servers
+    config.serviceRates = {1000.0, 0.0};
+    EXPECT_THROW(simulateOpenLoop({0.0}, config),
+                 std::invalid_argument); // non-positive rate
 }
 
 } // namespace
