@@ -124,6 +124,31 @@ cmp "$DET_A/fig10.stdout" "$DET_B/fig10.stdout"
 rm -rf "$DET_A" "$DET_B"
 echo "determinism: ok"
 
+# --- Replay byte-identity gate --------------------------------------
+# The run-level replay stores (sim/replay.h) claim byte-identity: a
+# figure harness with interval memoization + warm-state snapshots on
+# (the default) must produce stdout byte-identical to the same run
+# with SMITE_SIM_MEMO=0 (both stores off, every interval simulated
+# live). Fresh directories so neither run sees a shared disk cache.
+MEMO_ON="$(mktemp -d)"
+MEMO_OFF="$(mktemp -d)"
+(
+    cd "$MEMO_ON"
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build/bench/bench_fig10_spec_smt_prediction" \
+        > fig10.stdout
+)
+(
+    cd "$MEMO_OFF"
+    SMITE_SIM_MEMO=0 \
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build/bench/bench_fig10_spec_smt_prediction" \
+        > fig10.stdout
+)
+cmp "$MEMO_ON/fig10.stdout" "$MEMO_OFF/fig10.stdout"
+rm -rf "$MEMO_ON" "$MEMO_OFF"
+echo "replay byte-identity: ok"
+
 # --- Simulator perf smoke ------------------------------------------
 # Re-run the simulation-substrate microbenchmarks (CPU-time medians)
 # and diff the fresh report against the committed baseline. The
@@ -132,7 +157,9 @@ echo "determinism: ok"
 # quantity BENCH_sim.json exists to pin) fails with the exact metric
 # that moved. Coverage spans every committed metric — solo, SMT-pair
 # and CMP-pair machine shapes (cmp_pair exercises the multi-core
-# wake list) plus the cache/TLB/trace/fit kernels.
+# wake list), their `*_nomemo` live-path counterparts (so a live-
+# simulator regression can't hide behind replay hits), plus the
+# cache/TLB/trace/fit kernels.
 PERF_DIR="$(mktemp -d)"
 (
     cd "$PERF_DIR"

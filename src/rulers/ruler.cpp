@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "sim/digest.h"
 #include "sim/types.h"
 
 namespace smite::rulers {
@@ -56,6 +57,17 @@ class FuRulerSource : public sim::UopSource
     {
         acc_ = 0.0;
         pc_ = 0;
+    }
+
+    std::uint64_t
+    streamDigest() const override
+    {
+        // Fully deterministic in (type, duty): replay-eligible.
+        return sim::Digest{}
+            .str("ruler.fu")
+            .u64(static_cast<std::uint64_t>(type_))
+            .f64(duty_)
+            .value();
     }
 
   private:
@@ -167,6 +179,17 @@ class RandomMemRulerSource : public sim::UopSource
         return workingSet_ > (1 << 20) ? 0.5 : 1e-3;
     }
 
+    std::uint64_t
+    streamDigest() const override
+    {
+        // The LFSR seed is a class constant, so the working set is
+        // the whole identity.
+        return sim::Digest{}
+            .str("ruler.randmem")
+            .u64(workingSet_)
+            .value();
+    }
+
   private:
     static constexpr sim::Addr kCodeBytes = 192;
 
@@ -237,6 +260,12 @@ class StrideMemRulerSource : public sim::UopSource
     sim::Addr hotFootprint() const override { return 2 * half_; }
 
     double residencyWeight() const override { return 1.0; }
+
+    std::uint64_t
+    streamDigest() const override
+    {
+        return sim::Digest{}.str("ruler.stride").u64(half_).value();
+    }
 
   private:
     static constexpr sim::Addr kCodeBytes = 192;

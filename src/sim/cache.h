@@ -19,6 +19,7 @@
 #define SMITE_SIM_CACHE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,46 @@ class SetAssocCache
     bool probe(Addr line) const;
 
     /**
+     * Immutable image of the whole array, shared between runs.
+     *
+     * A snapshot is taken once after prewarm and then *adopted* by any
+     * number of later fresh arrays of the same geometry (same config):
+     * adoption copies only the tiny per-set fill counters and a
+     * touched-set bitmap up front, and each touched set's tag/stamp/
+     * dirty rows lazily on first access. A short run that touches a
+     * fraction of an 8MB L3 therefore restores a fraction of its
+     * bytes — the answer to the old "restoring a snapshot moves the
+     * same bytes as prewarming" objection (docs/PERFORMANCE.md).
+     */
+    struct Snapshot {
+        std::vector<Addr> tags;
+        std::vector<std::uint64_t> lastUse;
+        std::vector<std::uint8_t> dirty;
+        std::vector<std::uint8_t> fillWays;
+        /** Bitmap (64 sets per word) of sets that differ from fresh. */
+        std::vector<std::uint64_t> touched;
+        std::uint64_t useClock = 0;
+        Addr lastLine = 0;
+        std::size_t lastIdx = 0;
+
+        /** Total heap bytes held by the image. */
+        std::size_t bytes() const;
+    };
+
+    /** Capture the current state as a shared immutable snapshot. */
+    std::shared_ptr<const Snapshot> captureSnapshot() const;
+
+    /**
+     * Adopt a snapshot into this (required: freshly constructed or
+     * flushed) array. State afterwards is observably identical to the
+     * array the snapshot was captured from; rows materialize lazily.
+     */
+    void adoptSnapshot(std::shared_ptr<const Snapshot> snapshot);
+
+    /** Bytes lazily materialized since the last adoptSnapshot(). */
+    std::uint64_t snapshotRestoredBytes() const { return restoredBytes_; }
+
+    /**
      * Drop one line if present (back-invalidation from an inclusive
      * outer level). The dirty bit is discarded with it; the write-
      * back traffic is accounted by the caller.
@@ -116,6 +157,21 @@ class SetAssocCache
     setIndex(Addr line) const
     {
         return setsPow2_ ? (line & setMask_) : (line % numSets_);
+    }
+
+    /** Copy set @p set's rows out of the adopted snapshot (once). */
+    void materializeSet(std::uint64_t set);
+
+    /**
+     * Pre-mutation hook: with a snapshot adopted, make sure @p set's
+     * rows are materialized before anything reads or writes them. One
+     * predictable null check when no snapshot is live.
+     */
+    void
+    touchSet(std::uint64_t set)
+    {
+        if (snapshot_)
+            materializeSet(set);
     }
 
     CacheConfig config_;
@@ -157,6 +213,17 @@ class SetAssocCache
      * flush).
      */
     std::vector<std::uint8_t> fillWays_;
+
+    /**
+     * Adopted warm-state snapshot, if any. While set, snapPending_
+     * flags the touched sets whose tag/stamp/dirty rows still live
+     * only in the snapshot; every mutating path materializes a set
+     * before touching it, and probe() reads pending rows straight out
+     * of the snapshot. Cleared by flush().
+     */
+    std::shared_ptr<const Snapshot> snapshot_;
+    std::vector<std::uint64_t> snapPending_;
+    std::uint64_t restoredBytes_ = 0;
 };
 
 } // namespace smite::sim

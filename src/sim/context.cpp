@@ -19,6 +19,8 @@ HardwareContext::HardwareContext(const CoreConfig &core_config,
     }
     windowCap_ = core_config.windowSize;
     slotType_.assign(windowCap_, 0);
+    slotPort_.assign(windowCap_, 0);
+    slotLat_.assign(windowCap_, 0);
     slotAddr_.assign(windowCap_, 0);
     slotSeq_.assign(windowCap_, 0);
     slotReady_.assign(windowCap_, 0);
@@ -257,6 +259,8 @@ HardwareContext::fetch(Cycle now, int budget, int core, MemorySystem &mem)
         completion_[seq % kDepRing] = kNeverCycle;
         slotSeq_[tail] = seq;
         slotType_[tail] = static_cast<std::uint8_t>(uop.type);
+        slotPort_[tail] = portMask(uop.type);
+        slotLat_[tail] = execLatency(uop.type);
         if (uop.type == UopType::kLoad || uop.type == UopType::kStore)
             slotAddr_[tail] = uop.addr + addrBase_;
 
@@ -399,6 +403,8 @@ HardwareContext::issue(Cycle now, unsigned &port_busy, int &core_budget,
     const int issue_limit = coreConfig_.issuePerContext;
     const int sched_depth = coreConfig_.schedDepth;
     const std::uint8_t *const types = slotType_.data();
+    const std::uint8_t *const ports = slotPort_.data();
+    const Cycle *const lats = slotLat_.data();
     std::uint64_t *const bits = unissuedBits_.data();
     std::uint64_t *const ready_bits = readyBits_.data();
     const int words = static_cast<int>(unissuedBits_.size());
@@ -511,7 +517,7 @@ HardwareContext::issue(Cycle now, unsigned &port_busy, int &core_budget,
 
             switch (type) {
               case UopType::kLoad: {
-                port = pickPort(portMask(UopType::kLoad), port_busy);
+                port = pickPort(ports[idx], port_busy);
                 if (port < 0) {
                     retry = now + 1 < retry ? now + 1 : retry;
                     continue;
@@ -528,7 +534,7 @@ HardwareContext::issue(Cycle now, unsigned &port_busy, int &core_budget,
                     if (solo_on_core) {
                         const Cycle free_at = mshrAllBusyUntil_;
                         retry = free_at < retry ? free_at : retry;
-                        replayMasks_.push_back(portMask(UopType::kLoad));
+                        replayMasks_.push_back(ports[idx]);
                     } else {
                         retry = now + 1 < retry ? now + 1 : retry;
                     }
@@ -544,7 +550,7 @@ HardwareContext::issue(Cycle now, unsigned &port_busy, int &core_budget,
                 break;
               }
               case UopType::kStore: {
-                port = pickPort(portMask(UopType::kStore), port_busy);
+                port = pickPort(ports[idx], port_busy);
                 if (port < 0) {
                     retry = now + 1 < retry ? now + 1 : retry;
                     continue;
@@ -556,8 +562,7 @@ HardwareContext::issue(Cycle now, unsigned &port_busy, int &core_budget,
                     if (solo_on_core) {
                         const Cycle free_at = mshrAllBusyUntil_;
                         retry = free_at < retry ? free_at : retry;
-                        replayMasks_.push_back(
-                            portMask(UopType::kStore));
+                        replayMasks_.push_back(ports[idx]);
                     } else {
                         retry = now + 1 < retry ? now + 1 : retry;
                     }
@@ -572,7 +577,7 @@ HardwareContext::issue(Cycle now, unsigned &port_busy, int &core_budget,
                     mem.dataAccess(core, true, slotAddr_[idx], now,
                                    counters_, dtlb_);
                 ++counters_.stores;
-                finish = now + execLatency(UopType::kStore);
+                finish = now + lats[idx];
                 if (lat > mem.l1dHitLatency())
                     mshrBusyUntil_[mshr] = now + lat;
                 break;
@@ -581,12 +586,12 @@ HardwareContext::issue(Cycle now, unsigned &port_busy, int &core_budget,
                 finish = now + 1;
                 break;
               default: {
-                port = pickPort(portMask(type), port_busy);
+                port = pickPort(ports[idx], port_busy);
                 if (port < 0) {
                     retry = now + 1 < retry ? now + 1 : retry;
                     continue;
                 }
-                finish = now + execLatency(type);
+                finish = now + lats[idx];
                 break;
               }
             }

@@ -222,8 +222,19 @@ class HardwareContext
     // needed beyond slotSeq_ itself.
     // ---------------------------------------------------------------
 
-    /** Uop type per slot (port mask / latency via lookup). */
+    /** Uop type per slot (selects the issue path). */
     std::vector<std::uint8_t> slotType_;
+
+    /**
+     * Port mask and execution latency per slot, resolved once at
+     * fetch (portMask()/execLatency() of the slot's type). The issue
+     * scan re-examines rejected candidates scan after scan, so it
+     * reads these flat lanes instead of re-deriving both through the
+     * per-candidate type switch. Values are identical by construction
+     * — pure functions of the type — so issue order is unchanged.
+     */
+    std::vector<std::uint8_t> slotPort_;
+    std::vector<Cycle> slotLat_;
 
     /** Data address per slot (loads/stores only). */
     std::vector<Addr> slotAddr_;

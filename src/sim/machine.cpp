@@ -10,6 +10,7 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/digest.h"
 
 namespace smite::sim {
 
@@ -30,16 +31,16 @@ codeBase(size_t i)
 }
 
 /**
- * Functionally install the placements' hot data sets into the shared
- * L3, splitting the capacity between co-runners in proportion to
- * @p weights (water-filling, capped at each stream's hot footprint).
- * Insertion is chunk-interleaved so co-runners' lines mix the way a
- * shared LRU cache mixes them.
+ * Split the L3 capacity between the placements' hot data sets in
+ * proportion to @p weights (water-filling, capped at each stream's
+ * hot footprint). The result — lines granted per placement — fully
+ * determines the pass-1 functional warmup, which is why it doubles as
+ * the warm-state snapshot key (see runLive).
  */
-void
-prewarmData(MemorySystem &mem, const MachineConfig &config,
-            const std::vector<Placement> &placements,
-            const std::vector<double> &weights, bool fresh)
+std::vector<std::uint64_t>
+computeBudgets(const MachineConfig &config,
+               const std::vector<Placement> &placements,
+               const std::vector<double> &weights)
 {
     const std::uint64_t l3_lines = config.l3.sizeBytes / kLineBytes;
 
@@ -77,15 +78,35 @@ prewarmData(MemorySystem &mem, const MachineConfig &config,
             }
         }
     }
+    return budget;
+}
 
+/** Lines of program text pre-warmed for placement @p i. */
+std::uint64_t
+codeLineCount(const MachineConfig &config, const Placement &placement)
+{
+    const Addr code = std::min<Addr>(placement.source->codeFootprint(),
+                                     config.l3.sizeBytes / 4);
+    return (code + kLineBytes - 1) / kLineBytes;
+}
+
+/**
+ * Functionally install the placements' hot data sets into the shared
+ * L3, @p budget lines each. Insertion is chunk-interleaved so
+ * co-runners' lines mix the way a shared LRU cache mixes them.
+ */
+void
+prewarmData(MemorySystem &mem, size_t n, std::vector<std::uint64_t> budget,
+            bool fresh)
+{
     // On the first pass over a fresh machine every inserted line is
     // provably new (cursors only advance, address slices are
     // disjoint), so the L3 hit scan can be skipped wholesale.
-    std::vector<Addr> cursor(placements.size(), 0);
+    std::vector<Addr> cursor(n, 0);
     bool progress = true;
     while (progress) {
         progress = false;
-        for (size_t i = 0; i < placements.size(); ++i) {
+        for (size_t i = 0; i < n; ++i) {
             if (fresh) {
                 // Same chunk-interleaved insertion order, one batched
                 // call per chunk instead of a call per line.
@@ -116,14 +137,14 @@ prewarmCode(MemorySystem &mem, const MachineConfig &config,
             const std::vector<Placement> &placements, bool fresh)
 {
     for (size_t i = 0; i < placements.size(); ++i) {
+        if (fresh) {
+            mem.prewarmDataAbsentRange(
+                codeBase(i), codeLineCount(config, placements[i]));
+            continue;
+        }
         const Addr code = std::min<Addr>(
             placements[i].source->codeFootprint(),
             config.l3.sizeBytes / 4);
-        if (fresh) {
-            mem.prewarmDataAbsentRange(
-                codeBase(i), (code + kLineBytes - 1) / kLineBytes);
-            continue;
-        }
         for (Addr off = 0; off < code; off += kLineBytes)
             mem.prewarmData(codeBase(i) + off);
     }
@@ -131,12 +152,10 @@ prewarmCode(MemorySystem &mem, const MachineConfig &config,
 
 } // namespace
 
-std::vector<CounterBlock>
-Machine::run(const std::vector<Placement> &placements, Cycle warmup,
-             Cycle measure) const
+ReplayEntry
+Machine::runLive(const std::vector<Placement> &placements, Cycle warmup,
+                 Cycle measure, bool snapshots) const
 {
-    obs::Span span("machine.run",
-                   std::to_string(placements.size()) + " contexts");
     MemorySystem mem(config_);
 
     // Cores are constructed lazily, only where a placement lands: an
@@ -260,8 +279,39 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
         weights[i] =
             std::sqrt(placements[i].source->residencyWeight());
     }
-    prewarmData(mem, config_, placements, weights, /*fresh=*/true);
-    prewarmCode(mem, config_, placements, /*fresh=*/true);
+    std::vector<std::uint64_t> budgets =
+        computeBudgets(config_, placements, weights);
+
+    // The pass-1 warm state is a pure function of (L3 geometry, line
+    // budgets, code line counts) — the insertion order is fixed chunk
+    // interleaving over fixed address slices. Same-shape runs
+    // therefore share one immutable post-prewarm L3 image instead of
+    // each re-filling megabytes of arrays; the adopting run restores
+    // touched sets copy-on-read (SetAssocCache::Snapshot).
+    bool adopted = false;
+    if (snapshots) {
+        ReplayKey skey;
+        skey.reserve(2 + 2 * placements.size());
+        skey.push_back(configDigest(config_));
+        skey.push_back(placements.size());
+        for (size_t i = 0; i < placements.size(); ++i) {
+            skey.push_back(budgets[i]);
+            skey.push_back(codeLineCount(config_, placements[i]));
+        }
+        std::shared_ptr<const SetAssocCache::Snapshot> snap =
+            SnapshotStore::global().find(skey);
+        if (snap != nullptr) {
+            mem.adoptL3Snapshot(std::move(snap));
+            adopted = true;
+        } else {
+            prewarmData(mem, placements.size(), budgets, /*fresh=*/true);
+            prewarmCode(mem, config_, placements, /*fresh=*/true);
+            SnapshotStore::global().insert(skey, mem.captureL3Snapshot());
+        }
+    } else {
+        prewarmData(mem, placements.size(), budgets, /*fresh=*/true);
+        prewarmCode(mem, config_, placements, /*fresh=*/true);
+    }
     const Cycle half_warmup = warmup / 2;
     tick_for(0, half_warmup);
 
@@ -273,7 +323,9 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
             const double ipc = counters_of(i).ipc();
             weights[i] *= std::sqrt(std::max(ipc, 0.05));
         }
-        prewarmData(mem, config_, placements, weights, /*fresh=*/false);
+        prewarmData(mem, placements.size(),
+                    computeBudgets(config_, placements, weights),
+                    /*fresh=*/false);
         prewarmCode(mem, config_, placements,
                     /*fresh=*/false);  // keep text resident
     }
@@ -285,16 +337,99 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
 
     tick_for(warmup, warmup + measure);
 
-    std::vector<CounterBlock> results(placements.size());
+    ReplayEntry entry;
+    entry.results.resize(placements.size());
     for (size_t i = 0; i < placements.size(); ++i)
-        results[i] = counters_of(i) - at_warmup[i];
+        entry.results[i] = counters_of(i) - at_warmup[i];
+    entry.idleSkipped = idle_skipped;
+    entry.wakeEvents = wake_events;
+
+    if (adopted) {
+        static obs::Counter &restored = obs::Registry::global().counter(
+            "machine.snapshot.bytes_restored");
+        restored.add(mem.l3SnapshotRestoredBytes());
+    }
+    return entry;
+}
+
+std::vector<CounterBlock>
+Machine::run(const std::vector<Placement> &placements, Cycle warmup,
+             Cycle measure) const
+{
+    obs::Span span("machine.run",
+                   std::to_string(placements.size()) + " contexts");
+    fault::FaultPlan &faults = fault::FaultPlan::global();
+
+    // Replay eligibility: every placed source must carry a stream
+    // identity, and the reference tick loop opts out (it exists to
+    // re-derive outcomes from scratch, never to replay them). The
+    // kill-switch disables both stores (docs/ROBUSTNESS.md).
+    const bool stores_on = replayEnabled() && !referenceTicking_;
+    bool memo = stores_on;
+    bool snapshots = stores_on;
+    ReplayKey key;
+    if (memo) {
+        key.reserve(4 + 3 * placements.size());
+        key.push_back(configDigest(config_));
+        key.push_back(warmup);
+        key.push_back(measure);
+        key.push_back(placements.size());
+        for (const Placement &p : placements) {
+            const std::uint64_t digest =
+                p.source != nullptr ? p.source->streamDigest() : 0;
+            if (digest == 0) {
+                memo = false;
+                break;
+            }
+            key.push_back(static_cast<std::uint64_t>(p.core));
+            key.push_back(static_cast<std::uint64_t>(p.context));
+            key.push_back(digest);
+        }
+    }
+
+    // `sim.replay` chaos site: a fired check sends this run down the
+    // live path, both stores bypassed. Live and replayed outcomes are
+    // byte-identical by contract, so arming the site must not change
+    // any result — exactly what the chaos-determinism test asserts.
+    // Keyed on the replay key, so the decision is independent of call
+    // order and thread interleaving.
+    if (memo && faults.enabled() && faults.armed("sim.replay")) {
+        Digest key_digest;
+        for (const std::uint64_t word : key)
+            key_digest.u64(word);
+        if (faults.shouldInject("sim.replay",
+                                std::to_string(key_digest.value()))) {
+            memo = false;
+            snapshots = false;
+        }
+    }
+
+    ReplayEntry entry;
+    if (memo) {
+        bool computed = false;
+        const ReplayEntry &stored = replayStore().getOrCompute(key, [&] {
+            computed = true;
+            return runLive(placements, warmup, measure, snapshots);
+        });
+        if (!computed) {
+            static obs::Counter &restored =
+                obs::Registry::global().counter(
+                    "machine.replay.bytes_restored");
+            restored.add(stored.results.size() * sizeof(CounterBlock));
+        }
+        entry = stored;
+    } else {
+        entry = runLive(placements, warmup, measure, snapshots);
+    }
+    std::vector<CounterBlock> results = std::move(entry.results);
 
     // `machine.jitter` fault site: real PMUs never report the same
     // instruction count twice; perturb the retired-uop counts with
     // seeded Gaussian noise so the Lab's multi-trial aggregation has
     // something to reject. Sequence-seeded, so repeated trials of the
-    // same placement see different draws. Idle plan: untouched.
-    fault::FaultPlan &faults = fault::FaultPlan::global();
+    // same placement see different draws — the replayed (pre-jitter)
+    // entry is perturbed per call, so replay hits consume the exact
+    // draw sequence a live run would. Idle plan: untouched.
     if (faults.enabled() && faults.armed("machine.jitter")) {
         for (CounterBlock &block : results) {
             if (!faults.shouldInject("machine.jitter"))
@@ -307,6 +442,10 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
         }
     }
 
+    // The obs tail runs here — never inside runLive — so a replayed
+    // run contributes the same metric totals as the live run it
+    // replays (memo-on and memo-off runs are indistinguishable in
+    // machine.* counters).
     static obs::Counter &runs =
         obs::Registry::global().counter("machine.runs");
     static obs::Counter &cycles =
@@ -319,8 +458,8 @@ Machine::run(const std::vector<Placement> &placements, Cycle warmup,
         obs::Registry::global().histogram("machine.ipc");
     runs.add();
     cycles.add(warmup + measure);
-    skipped.add(idle_skipped);
-    wakes.add(wake_events);
+    skipped.add(entry.idleSkipped);
+    wakes.add(entry.wakeEvents);
     for (const CounterBlock &block : results)
         ipc_samples.observe(block.ipc());
     return results;

@@ -13,6 +13,7 @@
 #include "sim/config.h"
 #include "sim/counters.h"
 #include "sim/memory_system.h"
+#include "sim/replay.h"
 #include "sim/smt_core.h"
 #include "sim/types.h"
 #include "sim/uop.h"
@@ -59,6 +60,14 @@ class Machine
      * Each placed context is given a disjoint address-space offset so
      * contexts contend for capacity but never share lines.
      *
+     * When every placed source carries a stream identity
+     * (UopSource::streamDigest() != 0) and replay is enabled
+     * (sim/replay.h), a repeated run is served out of the run-level
+     * ReplayStore without ticking — byte-identical to a live run by
+     * contract. The `sim.replay` fault site, when armed, forces
+     * individual runs down the live path (chaos coverage for the
+     * byte-identity claim).
+     *
      * @return one CounterBlock per placement (measurement interval
      *         only), in placement order
      */
@@ -103,6 +112,18 @@ class Machine
     void setReferenceTicking(bool on) { referenceTicking_ = on; }
 
   private:
+    /**
+     * The actual simulation: build fresh state, prewarm (or adopt a
+     * shared post-prewarm L3 snapshot when @p snapshots is true and
+     * one exists), tick the intervals, return the counter deltas and
+     * event-loop tallies. No observability side effects beyond the
+     * snapshot counters — the run() wrapper replays the obs tail so
+     * metric totals match whether the entry was computed or replayed.
+     */
+    ReplayEntry runLive(const std::vector<Placement> &placements,
+                        Cycle warmup, Cycle measure,
+                        bool snapshots) const;
+
     MachineConfig config_;
     bool referenceTicking_ = false;
 };

@@ -1,0 +1,138 @@
+#include "sim/replay.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "sim/digest.h"
+
+namespace smite::sim {
+
+namespace {
+
+bool
+envEnabled()
+{
+    // Kill-switch contract (docs/ROBUSTNESS.md): exactly "0" disables
+    // both stores; anything else (including unset) leaves them on.
+    const char *v = std::getenv("SMITE_SIM_MEMO");
+    return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool> &
+enabledFlag()
+{
+    static std::atomic<bool> flag{envEnabled()};
+    return flag;
+}
+
+} // namespace
+
+bool
+replayEnabled()
+{
+    return enabledFlag().load(std::memory_order_relaxed);
+}
+
+bool
+setReplayEnabled(bool on)
+{
+    return enabledFlag().exchange(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+configDigest(const MachineConfig &config)
+{
+    Digest d;
+    d.str("machine.config");
+    d.str(config.name);
+    d.str(config.microarchitecture);
+    d.f64(config.ghz);
+    d.str(config.kernel);
+    d.u64(static_cast<std::uint64_t>(config.numCores));
+    d.u64(static_cast<std::uint64_t>(config.contextsPerCore));
+    const CoreConfig &core = config.core;
+    d.u64(static_cast<std::uint64_t>(core.fetchWidth));
+    d.u64(static_cast<std::uint64_t>(core.issuePerContext));
+    d.u64(static_cast<std::uint64_t>(core.issuePerCore));
+    d.u64(static_cast<std::uint64_t>(core.windowSize));
+    d.u64(static_cast<std::uint64_t>(core.schedDepth));
+    d.u64(static_cast<std::uint64_t>(core.mshrs));
+    d.u64(core.redirectPenalty);
+    d.u64(static_cast<std::uint64_t>(core.fetchPolicy));
+    d.u64(config.l2NextLinePrefetch ? 1 : 0);
+    d.u64(config.inclusiveL3 ? 1 : 0);
+    for (const CacheConfig *c :
+         {&config.l1i, &config.l1d, &config.l2, &config.l3}) {
+        d.str(c->name);
+        d.u64(c->sizeBytes);
+        d.u64(static_cast<std::uint64_t>(c->assoc));
+        d.u64(c->hitLatency);
+    }
+    for (const TlbConfig *t : {&config.itlb, &config.dtlb}) {
+        d.u64(static_cast<std::uint64_t>(t->entries));
+        d.u64(t->walkLatency);
+    }
+    d.u64(config.dram.accessLatency);
+    d.u64(config.dram.occupancyPerLine);
+    return d.value();
+}
+
+core::MemoCache<ReplayKey, ReplayEntry> &
+replayStore()
+{
+    static core::MemoCache<ReplayKey, ReplayEntry> store;
+    static const bool instrumented =
+        (store.instrument("machine.replay"), true);
+    (void)instrumented;
+    return store;
+}
+
+SnapshotStore &
+SnapshotStore::global()
+{
+    static SnapshotStore store;
+    return store;
+}
+
+std::shared_ptr<const SetAssocCache::Snapshot>
+SnapshotStore::find(const ReplayKey &key)
+{
+    static obs::Counter &hits =
+        obs::Registry::global().counter("machine.snapshot.hits");
+    static obs::Counter &misses =
+        obs::Registry::global().counter("machine.snapshot.misses");
+    std::shared_lock<std::shared_mutex> read(mu_);
+    const auto it = images_.find(key);
+    if (it == images_.end()) {
+        misses.add();
+        return nullptr;
+    }
+    hits.add();
+    return it->second;
+}
+
+void
+SnapshotStore::insert(const ReplayKey &key,
+                      std::shared_ptr<const SetAssocCache::Snapshot> snap)
+{
+    static obs::Counter &captured =
+        obs::Registry::global().counter("machine.snapshot.bytes_captured");
+    std::unique_lock<std::shared_mutex> write(mu_);
+    if (images_.size() >= kMaxEntries)
+        return;
+    const auto [it, inserted] = images_.try_emplace(key);
+    if (!inserted)
+        return;
+    captured.add(snap->bytes());
+    it->second = std::move(snap);
+}
+
+std::size_t
+SnapshotStore::size() const
+{
+    std::shared_lock<std::shared_mutex> read(mu_);
+    return images_.size();
+}
+
+} // namespace smite::sim

@@ -168,6 +168,18 @@ class UopSource {
      * proportion to this weight. Dimensionless; only ratios matter.
      */
     virtual double residencyWeight() const { return 1.0; }
+
+    /**
+     * Identity digest of the stream this source produces, or 0 if the
+     * source cannot promise one. Two sources with the same non-zero
+     * digest must emit byte-identical uop streams after reset() —
+     * Machine::run() binds (hence resets) every source, so a run's
+     * outcome is a pure function of (machine config, placement
+     * coordinates, stream digests, interval bounds). That is exactly
+     * the key the run-level replay store (sim/replay.h) memoizes on;
+     * sources returning 0 opt out of replay entirely.
+     */
+    virtual std::uint64_t streamDigest() const { return 0; }
 };
 
 } // namespace smite::sim

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/digest.h"
+
 namespace smite::workload {
 
 namespace {
@@ -57,6 +59,39 @@ ProfileUopSource::ProfileUopSource(const WorkloadProfile &profile,
             "loop size must be within [64B, code footprint]");
     }
     reset();
+}
+
+std::uint64_t
+ProfileUopSource::streamDigest() const
+{
+    sim::Digest d;
+    d.str("workload.profile");
+    d.str(profile_.name);
+    d.u64(static_cast<std::uint64_t>(profile_.specNumber));
+    d.u64(static_cast<std::uint64_t>(profile_.suite));
+    for (const double m : profile_.mix)
+        d.f64(m);
+    d.f64(profile_.branchMispredictRate);
+    d.u64(profile_.dataFootprint);
+    d.f64(profile_.streamFraction);
+    d.u64(profile_.stackBytes);
+    d.f64(profile_.stackProb);
+    d.u64(profile_.hotBytes);
+    d.f64(profile_.hotProb);
+    d.u64(profile_.codeFootprint);
+    d.u64(profile_.loopBytes);
+    d.f64(profile_.codeDwellUops);
+    d.f64(profile_.phaseLowFactor);
+    d.f64(profile_.phaseMeanUops);
+    d.f64(profile_.depProb);
+    d.f64(profile_.loadDepProb);
+    d.f64(profile_.dep2Prob);
+    d.f64(profile_.depMeanDist);
+    d.f64(profile_.arrivalRate);
+    d.f64(profile_.serviceRate);
+    d.u64(profile_.reportsPercentile ? 1 : 0);
+    d.u64(seed_);
+    return d.value();
 }
 
 ProfileUopSource::GenState

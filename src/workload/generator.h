@@ -86,6 +86,14 @@ class ProfileUopSource final : public sim::UopSource
     /** The generating profile. */
     const WorkloadProfile &profile() const { return profile_; }
 
+    /**
+     * Replay identity: a digest of every profile field plus the seed.
+     * The generator is a pure function of (profile, seed) — reset()
+     * rewinds exactly — so equal digests imply identical streams,
+     * which is what sim/replay.h keys runs on.
+     */
+    std::uint64_t streamDigest() const override;
+
   private:
     sim::Addr nextDataAddr();
     sim::Addr nextPc();
