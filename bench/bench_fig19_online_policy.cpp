@@ -93,6 +93,14 @@ main()
 
     const scheduler::OnlineScheduler online_policy(
         cluster, scheduler::OnlineConfig{.epochs = kEpochs});
+    // Tolerance of two QoS points: tight enough that the trim pass
+    // engages on the spreads this cluster actually exhibits.
+    const scheduler::OnlineScheduler fairness_policy(
+        cluster,
+        scheduler::OnlineConfig{
+            .epochs = kEpochs,
+            .objective = scheduler::Objective::kFairness,
+            .spreadTolerance = 0.02});
 
     // `util+` is raw utilization gain over the no-SMT baseline;
     // `good+` is the goodput gain, where instances on QoS-violating
@@ -107,10 +115,18 @@ main()
     int dominated = 0;
     scheduler::OnlineResult timeline_run;
     obs::json::Value by_target = obs::json::Value::array();
+    struct FairnessRow {
+        double target;
+        scheduler::OnlineResult util;
+        scheduler::OnlineResult fair;
+    };
+    std::vector<FairnessRow> fairness_rows;
     for (double target : {0.95, 0.90, 0.85}) {
         const auto fixed = cluster.runPredictedPolicyWithFailures(
             target, kEpochs, "SMiTe-static");
         auto online = online_policy.run(target);
+        auto fair =
+            fairness_policy.run(target, "SMiTe-online-fair");
         const auto oracle = cluster.runOraclePolicy(target);
         const bool dominates =
             online.final.violationRate() <= fixed.violationRate() &&
@@ -132,14 +148,66 @@ main()
         row.set("qos_target", obs::json::Value(target));
         row.set("static", policyJson(fixed));
         row.set("online", policyJson(online.final));
+        row.set("online_fair", policyJson(fair.final));
         row.set("oracle", policyJson(oracle));
         by_target.push(std::move(row));
-        if (target == 0.90)
+        FairnessRow frow{target, {}, std::move(fair)};
+        if (target == 0.90) {
+            frow.util = online;
             timeline_run = std::move(online);
+        } else {
+            frow.util = std::move(online);
+        }
+        fairness_rows.push_back(std::move(frow));
     }
     std::printf("\nonline beats static (lower violation rate at "
                 "equal-or-better goodput) at %d/3 targets\n",
                 dominated);
+
+    // Fairness objective (MISE-Fair-style): how much max slowdown /
+    // slowdown spread the extra trim pass buys, and what it costs in
+    // goodput, at each target.
+    std::printf("\nfairness objective vs utilization objective "
+                "(final placement, actual QoS):\n");
+    std::printf("%-10s | %8s %8s %7s | %8s %8s %7s\n", "",
+                "util", "", "", "fairness", "", "");
+    std::printf("%-10s | %8s %8s %7s | %8s %8s %7s\n", "QoS target",
+                "maxslow%", "spread%", "good+%", "maxslow%",
+                "spread%", "good+%");
+    int fairness_wins = 0;
+    obs::json::Value fairness_json = obs::json::Value::array();
+    for (const FairnessRow &r : fairness_rows) {
+        const bool wins = r.fair.finalMaxSlowdown <
+                          r.util.finalMaxSlowdown;
+        fairness_wins += wins ? 1 : 0;
+        std::printf("%9.0f%% | %7.2f%% %7.2f%% %6.2f%% | %7.2f%% "
+                    "%7.2f%% %6.2f%%\n",
+                    100 * r.target,
+                    100 * r.util.finalMaxSlowdown,
+                    100 * r.util.finalSlowdownSpread,
+                    100 * r.util.final.goodputImprovement(),
+                    100 * r.fair.finalMaxSlowdown,
+                    100 * r.fair.finalSlowdownSpread,
+                    100 * r.fair.final.goodputImprovement());
+        obs::json::Value row = obs::json::Value::object();
+        row.set("qos_target", obs::json::Value(r.target));
+        row.set("util_max_slowdown",
+                obs::json::Value(r.util.finalMaxSlowdown));
+        row.set("util_slowdown_spread",
+                obs::json::Value(r.util.finalSlowdownSpread));
+        row.set("fair_max_slowdown",
+                obs::json::Value(r.fair.finalMaxSlowdown));
+        row.set("fair_slowdown_spread",
+                obs::json::Value(r.fair.finalSlowdownSpread));
+        row.set("fair_fairness_evictions",
+                obs::json::Value(
+                    r.fair.timeline.empty()
+                        ? 0
+                        : r.fair.timeline.back().fairnessEvictions));
+        fairness_json.push(std::move(row));
+    }
+    std::printf("fairness reduces max slowdown at %d/3 targets\n",
+                fairness_wins);
 
     std::printf("\nepoch timeline at the 90%% target "
                 "(utilization gain %%, online policy):\n");
@@ -178,6 +246,10 @@ main()
                                      std::move(timeline));
     bench::ReportScope::recordResult("dominated_targets",
                                      obs::json::Value(dominated));
+    bench::ReportScope::recordResult("fairness_by_target",
+                                     std::move(fairness_json));
+    bench::ReportScope::recordResult("fairness_wins",
+                                     obs::json::Value(fairness_wins));
 
     bench::paperReference(
         "beyond the paper: an online, observation-driven variant of "

@@ -170,6 +170,49 @@ PERF_DIR="$(mktemp -d)"
 rm -rf "$PERF_DIR"
 echo "perf smoke: ok"
 
+# --- Predictor zoo smoke -------------------------------------------
+# The predictor shoot-out (core/predictor.h), three gates in one run:
+#  1. bench_predictor_zoo re-runs the head-to-head at the smoke
+#     intervals and report_diff checks it against the committed
+#     BENCH_pred.json (MAE and signature-run costs are exactly
+#     reproducible; prediction latency lives in `timings`, which is
+#     never diffed);
+#  2. determinism: the same run with the default pool and forced
+#     serial must produce byte-identical stdout;
+#  3. every predictor.* metric the fresh report emitted must appear
+#     in the docs/OBSERVABILITY.md catalog (doc-drift check).
+PRED_A="$(mktemp -d)"
+PRED_B="$(mktemp -d)"
+(
+    cd "$PRED_A"
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build/bench/bench_predictor_zoo" fresh_pred.json \
+        > pred.stdout
+    "$REPO/build/tools/report_diff" --tol 0.6 \
+        "$REPO/BENCH_pred.json" fresh_pred.json
+
+    "$REPO/build/tools/obs_check" report fresh_pred.json |
+        grep '^predictor\.' > pred_names.txt || true
+    missing=0
+    while read -r name; do
+        if ! grep -qF "\`$name\`" "$REPO/docs/OBSERVABILITY.md"; then
+            echo "undocumented predictor metric: $name" >&2
+            missing=1
+        fi
+    done < pred_names.txt
+    [ "$missing" -eq 0 ]
+)
+(
+    cd "$PRED_B"
+    SMITE_THREADS=1 \
+    SMITE_BENCH_WARMUP=2000 SMITE_BENCH_MEASURE=8000 \
+        "$REPO/build/bench/bench_predictor_zoo" fresh_pred.json \
+        > pred.stdout
+)
+cmp "$PRED_A/pred.stdout" "$PRED_B/pred.stdout"
+rm -rf "$PRED_A" "$PRED_B"
+echo "predictor zoo smoke: ok"
+
 # --- Scheduler scale-out smoke -------------------------------------
 # The warehouse-scale sharded scheduler, three gates in one run
 # (docs/SCHEDULING.md):

@@ -1,5 +1,7 @@
 #include "core/pmu_model.h"
 
+#include "core/prediction_guard.h"
+
 #include <stdexcept>
 
 namespace smite::core {
@@ -36,7 +38,8 @@ double
 PmuModel::predict(const PmuProfile &victim,
                   const PmuProfile &aggressor) const
 {
-    return model_.predict(features(victim, aggressor));
+    return guardDegradation(model_.predict(features(victim, aggressor)),
+                            "PmuModel");
 }
 
 } // namespace smite::core

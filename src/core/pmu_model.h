@@ -48,7 +48,10 @@ class PmuModel
     static PmuModel train(const std::vector<Sample> &samples,
                           double ridge = 1e-6);
 
-    /** Predict Deg(A|B) from both solo PMU profiles. */
+    /**
+     * Predict Deg(A|B) from both solo PMU profiles. Guarded into
+     * [0, 1] like SmiteModel::predict (core/prediction_guard.h).
+     */
     double predict(const PmuProfile &victim,
                    const PmuProfile &aggressor) const;
 

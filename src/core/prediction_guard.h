@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Range guard shared by every degradation predictor.
+ *
+ * A fitted linear model is an unconstrained affine map: regression
+ * overshoot routinely lands a little below 0 or above 1, and
+ * pathological inputs (a characterization built from a near-zero solo
+ * IPC, NaNs smuggled in through a corrupted profile) propagate
+ * non-finite values straight into scheduler admission decisions.
+ * Degradations are fractions of solo performance, so every public
+ * predict path funnels through this guard:
+ *
+ *  - finite out-of-range values are clamped into [0, 1] silently
+ *    (ordinary overshoot, not a failure — the predictor.clamped
+ *    counter makes the rate observable);
+ *  - non-finite values are replaced by the conservative worst case
+ *    1.0 (full degradation, QoS 0) and logged to the IncidentLog, so
+ *    a run that made decisions on garbage is marked partial.
+ */
+
+#ifndef SMITE_CORE_PREDICTION_GUARD_H
+#define SMITE_CORE_PREDICTION_GUARD_H
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "obs/incident.h"
+
+namespace smite::core {
+
+/** Clamp a raw degradation prediction into [0, 1] (see file docs). */
+inline double
+guardDegradation(double raw, const char *model)
+{
+    if (!std::isfinite(raw)) {
+        obs::IncidentLog::global().record(
+            std::string(model) +
+            ": non-finite degradation prediction, using worst case 1.0");
+        return 1.0;
+    }
+    return std::clamp(raw, 0.0, 1.0);
+}
+
+} // namespace smite::core
+
+#endif // SMITE_CORE_PREDICTION_GUARD_H

@@ -1,0 +1,367 @@
+#include "core/predictor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/experiment.h"
+#include "core/prediction_guard.h"
+#include "fault/fault.h"
+#include "obs/incident.h"
+#include "obs/metrics.h"
+
+namespace smite::core {
+
+namespace {
+
+/** A rate per solo cycle, 0 for an empty interval. */
+double
+soloRate(std::uint64_t events, std::uint64_t cycles)
+{
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(events) /
+                             static_cast<double>(cycles);
+}
+
+/** Element-wise sum of the aggressor set's contentiousness vectors. */
+Characterization
+combinedContentiousness(
+    const std::vector<const WorkloadSignature *> &aggressors)
+{
+    Characterization combined;
+    for (const WorkloadSignature *a : aggressors) {
+        for (int d = 0; d < rulers::kNumDimensions; ++d)
+            combined.contentiousness[d] +=
+                a->characterization.contentiousness[d];
+    }
+    return combined;
+}
+
+/** Element-wise sum of the aggressor set's PMU rates. */
+PmuProfile
+combinedPmu(const std::vector<const WorkloadSignature *> &aggressors)
+{
+    PmuProfile combined{};
+    for (const WorkloadSignature *a : aggressors) {
+        for (int r = 0; r < sim::kNumPmuRates; ++r)
+            combined[r] += a->pmu[r];
+    }
+    return combined;
+}
+
+/** Is every number a predictor would read from @p s finite? */
+bool
+signatureFinite(const WorkloadSignature &s)
+{
+    if (!std::isfinite(s.soloIpc))
+        return false;
+    for (int d = 0; d < rulers::kNumDimensions; ++d) {
+        if (!std::isfinite(s.characterization.sensitivity[d]) ||
+            !std::isfinite(s.characterization.contentiousness[d]))
+            return false;
+    }
+    for (int r = 0; r < sim::kNumPmuRates; ++r) {
+        if (!std::isfinite(s.pmu[r]))
+            return false;
+    }
+    return true;
+}
+
+/** Minimum solo IPC a prediction denominator may rest on. */
+constexpr double kMinSoloIpc = 1e-9;
+
+obs::Counter &
+predictionsCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("predictor.predictions");
+    return c;
+}
+
+obs::Counter &
+clampedCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("predictor.clamped");
+    return c;
+}
+
+obs::Counter &
+invalidCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("predictor.invalid_inputs");
+    return c;
+}
+
+} // namespace
+
+double
+Predictor::predictDegradation(
+    const WorkloadSignature &victim,
+    const std::vector<const WorkloadSignature *> &aggressors) const
+{
+    predictionsCounter().add();
+    if (aggressors.empty())
+        return 0.0;  // running solo
+
+    // Validate inputs before any arithmetic: a signature built on a
+    // failed measurement or a near-zero solo IPC denominator cannot
+    // support a meaningful ratio, so fall back to the conservative
+    // worst case rather than propagate garbage into admission
+    // decisions.
+    bool usable = victim.valid && signatureFinite(victim) &&
+                  victim.soloIpc > kMinSoloIpc;
+    for (const WorkloadSignature *a : aggressors)
+        usable = usable && a != nullptr && a->valid && signatureFinite(*a);
+    if (!usable) {
+        invalidCounter().add();
+        obs::IncidentLog::global().record(
+            std::string(name()) + " predictor: unusable signature for " +
+            victim.name + ", using worst case 1.0");
+        return 1.0;
+    }
+
+    const double raw = rawDegradation(victim, aggressors);
+    if (!std::isfinite(raw)) {
+        invalidCounter().add();
+        obs::IncidentLog::global().record(
+            std::string(name()) +
+            " predictor: non-finite prediction for " + victim.name +
+            ", using worst case 1.0");
+        return 1.0;
+    }
+    if (raw < 0.0 || raw > 1.0)
+        clampedCounter().add();
+    return guardDegradation(raw, "Predictor");
+}
+
+double
+Predictor::predictDegradation(const WorkloadSignature &victim,
+                              const WorkloadSignature &aggressor) const
+{
+    return predictDegradation(victim, {&aggressor});
+}
+
+SmitePredictor
+SmitePredictor::train(const std::vector<PredictorSample> &samples,
+                      double ridge)
+{
+    std::vector<SmiteModel::Sample> rows;
+    rows.reserve(samples.size());
+    for (const PredictorSample &s : samples) {
+        SmiteModel::Sample row;
+        row.victim = s.victim->characterization;
+        row.aggressor = s.aggressor->characterization;
+        row.degradation = s.degradation;
+        rows.push_back(std::move(row));
+    }
+    return SmitePredictor(SmiteModel::train(rows, ridge));
+}
+
+double
+SmitePredictor::rawDegradation(
+    const WorkloadSignature &victim,
+    const std::vector<const WorkloadSignature *> &aggressors) const
+{
+    return model_.predict(victim.characterization,
+                          combinedContentiousness(aggressors));
+}
+
+PmuPredictor
+PmuPredictor::train(const std::vector<PredictorSample> &samples,
+                    double ridge)
+{
+    std::vector<PmuModel::Sample> rows;
+    rows.reserve(samples.size());
+    for (const PredictorSample &s : samples) {
+        PmuModel::Sample row;
+        row.victim = s.victim->pmu;
+        row.aggressor = s.aggressor->pmu;
+        row.degradation = s.degradation;
+        rows.push_back(std::move(row));
+    }
+    return PmuPredictor(PmuModel::train(rows, ridge));
+}
+
+double
+PmuPredictor::rawDegradation(
+    const WorkloadSignature &victim,
+    const std::vector<const WorkloadSignature *> &aggressors) const
+{
+    return model_.predict(victim.pmu, combinedPmu(aggressors));
+}
+
+std::vector<double>
+MisePredictor::features(
+    const WorkloadSignature &victim,
+    const std::vector<const WorkloadSignature *> &aggressors)
+{
+    const sim::CounterBlock &v = victim.soloCounters;
+    const double v_dram = soloRate(v.l3Misses, v.cycles);
+    const double v_l3 = soloRate(v.l2Misses, v.cycles);
+    double a_dram = 0.0, a_l3 = 0.0;
+    for (const WorkloadSignature *a : aggressors) {
+        const sim::CounterBlock &c = a->soloCounters;
+        a_dram += soloRate(c.l3Misses, c.cycles);
+        a_l3 += soloRate(c.l2Misses, c.cycles);
+    }
+    return {v_dram, a_dram, v_dram * a_dram, v_l3 * a_l3};
+}
+
+MisePredictor
+MisePredictor::train(const std::vector<PredictorSample> &samples,
+                     double ridge)
+{
+    if (samples.size() <= kNumFeatures) {
+        throw std::invalid_argument(
+            "need more samples than MISE features");
+    }
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    x.reserve(samples.size());
+    y.reserve(samples.size());
+    for (const PredictorSample &s : samples) {
+        x.push_back(features(*s.victim, {s.aggressor}));
+        y.push_back(s.degradation);
+    }
+    return MisePredictor(stats::LinearModel::fit(x, y, ridge));
+}
+
+double
+MisePredictor::rawDegradation(
+    const WorkloadSignature &victim,
+    const std::vector<const WorkloadSignature *> &aggressors) const
+{
+    return model_.predict(features(victim, aggressors));
+}
+
+std::vector<double>
+AlvesDrummondPredictor::features(
+    const WorkloadSignature &victim,
+    const std::vector<const WorkloadSignature *> &aggressors)
+{
+    const Characterization combined = combinedContentiousness(aggressors);
+    std::vector<double> x(rulers::kNumDimensions);
+    for (int d = 0; d < rulers::kNumDimensions; ++d) {
+        x[d] = victim.characterization.sensitivity[d] *
+               (1.0 - std::exp(-combined.contentiousness[d]));
+    }
+    return x;
+}
+
+AlvesDrummondPredictor
+AlvesDrummondPredictor::train(const std::vector<PredictorSample> &samples,
+                              double ridge)
+{
+    if (samples.size() <= rulers::kNumDimensions) {
+        throw std::invalid_argument(
+            "need more samples than sharing dimensions");
+    }
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    x.reserve(samples.size());
+    y.reserve(samples.size());
+    for (const PredictorSample &s : samples) {
+        x.push_back(features(*s.victim, {s.aggressor}));
+        y.push_back(s.degradation);
+    }
+    return AlvesDrummondPredictor(stats::LinearModel::fit(x, y, ridge));
+}
+
+double
+AlvesDrummondPredictor::rawDegradation(
+    const WorkloadSignature &victim,
+    const std::vector<const WorkloadSignature *> &aggressors) const
+{
+    return model_.predict(features(victim, aggressors));
+}
+
+WorkloadSignature
+signatureOf(Lab &lab, const workload::WorkloadProfile &profile,
+            CoLocationMode mode)
+{
+    WorkloadSignature sig;
+    sig.name = profile.name;
+    try {
+        sig.characterization = lab.characterization(profile, mode);
+        sig.pmu = lab.pmuProfile(profile);
+        sig.soloCounters = lab.soloCounters(profile);
+        sig.soloIpc = lab.soloIpc(profile);
+        sig.valid = sig.characterization.valid;
+    } catch (const fault::MeasurementError &) {
+        // Retry budget spent (already logged by the Lab); the
+        // signature is unusable but the batch survives.
+        sig.valid = false;
+    }
+    return sig;
+}
+
+std::vector<WorkloadSignature>
+signaturesOf(Lab &lab,
+             const std::vector<workload::WorkloadProfile> &profiles,
+             CoLocationMode mode)
+{
+    // Warm the expensive measurements through the parallel batch APIs;
+    // the serial signatureOf() assembly below then hits the Lab's
+    // caches in input order, byte-identical to the all-serial path.
+    lab.characterizeAll(profiles, mode);
+    lab.pmuProfileAll(profiles);
+    lab.soloIpcAll(profiles);
+
+    std::vector<WorkloadSignature> sigs;
+    sigs.reserve(profiles.size());
+    for (const workload::WorkloadProfile &p : profiles)
+        sigs.push_back(signatureOf(lab, p, mode));
+    return sigs;
+}
+
+PredictorZoo
+trainPredictorZoo(Lab &lab,
+                  const std::vector<workload::WorkloadProfile> &training_set,
+                  CoLocationMode mode)
+{
+    PredictorZoo zoo;
+    zoo.signatures = signaturesOf(lab, training_set, mode);
+    const std::vector<std::vector<double>> pairs =
+        lab.measureAllPairs(training_set, mode);
+
+    static obs::Counter &dropped =
+        obs::Registry::global().counter("lab.dropped_samples");
+    std::vector<PredictorSample> samples;
+    for (std::size_t i = 0; i < training_set.size(); ++i) {
+        for (std::size_t j = 0; j < training_set.size(); ++j) {
+            if (i == j)
+                continue;
+            // Mirror the trainSmite protocol: a sample resting on a
+            // failed measurement is dropped from every fit, not
+            // allowed to poison one.
+            if (!zoo.signatures[i].valid || !zoo.signatures[j].valid ||
+                std::isnan(pairs[i][j])) {
+                dropped.add();
+                obs::IncidentLog::global().record(
+                    "trainPredictorZoo: dropped sample " +
+                    training_set[i].name + "|" + training_set[j].name +
+                    " (" + modeName(mode) + ")");
+                continue;
+            }
+            samples.push_back({&zoo.signatures[i], &zoo.signatures[j],
+                               pairs[i][j]});
+        }
+    }
+
+    zoo.predictors.push_back(
+        std::make_unique<SmitePredictor>(SmitePredictor::train(samples)));
+    zoo.predictors.push_back(
+        std::make_unique<PmuPredictor>(PmuPredictor::train(samples)));
+    zoo.predictors.push_back(
+        std::make_unique<MisePredictor>(MisePredictor::train(samples)));
+    zoo.predictors.push_back(std::make_unique<AlvesDrummondPredictor>(
+        AlvesDrummondPredictor::train(samples)));
+
+    static obs::Counter &trained =
+        obs::Registry::global().counter("predictor.trained");
+    trained.add(zoo.predictors.size());
+    return zoo;
+}
+
+} // namespace smite::core

@@ -22,6 +22,7 @@
 #include "core/characterize.h"
 #include "core/experiment.h"
 #include "core/pmu_model.h"
+#include "core/predictor.h"
 #include "core/smite_model.h"
 #include "core/tail_latency.h"
 #include "queueing/des.h"

@@ -1,5 +1,7 @@
 #include "core/smite_model.h"
 
+#include "core/prediction_guard.h"
+
 #include <stdexcept>
 
 namespace smite::core {
@@ -36,7 +38,8 @@ double
 SmiteModel::predict(const Characterization &victim,
                     const Characterization &aggressor) const
 {
-    return model_.predict(features(victim, aggressor));
+    return guardDegradation(model_.predict(features(victim, aggressor)),
+                            "SmiteModel");
 }
 
 } // namespace smite::core

@@ -45,7 +45,14 @@ class SmiteModel
     static SmiteModel train(const std::vector<Sample> &samples,
                             double ridge = 1e-8);
 
-    /** Predict Deg(A|B) from A's sensitivity and B's contentiousness. */
+    /**
+     * Predict Deg(A|B) from A's sensitivity and B's contentiousness.
+     * Guarded into [0, 1]: degradations are fractions of solo
+     * performance, so regression overshoot is clamped and non-finite
+     * values (adversarial characterizations) fall back to the
+     * conservative worst case with an incident-log record
+     * (core/prediction_guard.h).
+     */
     double predict(const Characterization &victim,
                    const Characterization &aggressor) const;
 

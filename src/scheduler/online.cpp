@@ -22,6 +22,9 @@ OnlineScheduler::OnlineScheduler(const Cluster &cluster,
         config_.probeBudget = std::max(1, cluster_.servers() / 4);
     if (config_.headroom < 0.0)
         throw std::invalid_argument("headroom must be non-negative");
+    if (config_.spreadTolerance < 0.0)
+        throw std::invalid_argument(
+            "spreadTolerance must be non-negative");
     if (config_.loadAware.enabled) {
         const LoadAwareConfig &la = config_.loadAware;
         if (la.baseQps <= 0.0)
@@ -99,6 +102,21 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
     const bool spike_site =
         load_aware && faults.enabled() &&
         faults.armed("des.arrival_burst");
+
+    // Fairness objective (inert under kUtilization; metrics lazily
+    // registered for the same baseline-stability reason as above).
+    const bool fairness = config_.objective == Objective::kFairness;
+    obs::Counter *fairness_evictions_ctr = nullptr;
+    obs::Gauge *max_slowdown_gauge = nullptr;
+    obs::Gauge *spread_gauge = nullptr;
+    if (fairness) {
+        fairness_evictions_ctr =
+            &registry.counter("scheduler.online.fairness_evictions");
+        max_slowdown_gauge =
+            &registry.gauge("scheduler.online.max_slowdown");
+        spread_gauge =
+            &registry.gauge("scheduler.online.slowdown_spread");
+    }
 
     // Knee of server s at co-location depth d (d = 0 is solo).
     auto kneeAt = [this](std::size_t s, int depth) {
@@ -263,6 +281,10 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
         // Fillers carry no batch-QoS guarantee — that is what makes
         // them best-effort — so they live outside this loop; the knee
         // table (step 6) is the constraint that governs them.
+        std::vector<double> slowdown(n, 0.0);
+        std::vector<bool> observed_this_epoch(n, false);
+        double min_slowdown = 0.0, max_slowdown = 0.0;
+        bool any_observed = false;
         for (std::size_t s = 0; s < n; ++s) {
             if (down[s] || instances[s] <= 0)
                 continue;
@@ -279,6 +301,15 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
                 }
             }
             observations.add();
+            slowdown[s] = 1.0 - observed;
+            observed_this_epoch[s] = true;
+            min_slowdown = any_observed
+                               ? std::min(min_slowdown, slowdown[s])
+                               : slowdown[s];
+            max_slowdown = any_observed
+                               ? std::max(max_slowdown, slowdown[s])
+                               : slowdown[s];
+            any_observed = true;
             if (observed < qos_target) {
                 observed_violations.add();
                 ++stats.observedViolations;
@@ -290,6 +321,33 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
             } else {
                 observed_slack[s] = observed - qos_target;
                 observed_at[s] = instances[s];
+            }
+        }
+        if (any_observed) {
+            stats.maxSlowdown = max_slowdown;
+            stats.slowdownSpread = max_slowdown - min_slowdown;
+        }
+
+        // 4b. Fairness pass: trim one instance from every server whose
+        // observed slowdown exceeds the epoch's minimum by more than
+        // the spread tolerance, even though it met the QoS target.
+        // The learned cap shrinks with it, so — like QoS evictions —
+        // a trimmed count is never retried and the loop converges to
+        // a placement whose slowdown spread fits the tolerance band.
+        if (fairness && any_observed) {
+            for (std::size_t s = 0; s < n; ++s) {
+                if (!observed_this_epoch[s] ||
+                    observed_at[s] != instances[s] ||
+                    instances[s] <= 0)
+                    continue;  // just evicted on QoS, or not observed
+                if (slowdown[s] <=
+                    min_slowdown + config_.spreadTolerance)
+                    continue;
+                --instances[s];
+                cap[s] = std::min(cap[s], instances[s]);
+                observed_at[s] = -1;
+                fairness_evictions_ctr->add();
+                ++stats.fairnessEvictions;
             }
         }
 
@@ -392,12 +450,37 @@ OnlineScheduler::run(double qos_target, const std::string &name) const
         util_gauge.set(stats.utilization);
         if (filler_gauge != nullptr)
             filler_gauge->set(filler_total);
+        if (fairness) {
+            max_slowdown_gauge->set(stats.maxSlowdown);
+            spread_gauge->set(stats.slowdownSpread);
+        }
         result.timeline.push_back(stats);
     }
 
     int down_servers = 0;
     for (std::size_t s = 0; s < n; ++s)
         down_servers += down[s] ? 1 : 0;
+
+    // Score the final placement's fairness from *actual* QoS (no
+    // observation noise), like PolicyResult scores its compliance —
+    // the quantity the fairness objective exists to bound.
+    double final_min = 0.0, final_max = 0.0;
+    bool any_final = false;
+    for (std::size_t s = 0; s < n; ++s) {
+        if (down[s] || instances[s] <= 0)
+            continue;
+        const std::size_t k = static_cast<std::size_t>(instances[s]);
+        const double sd =
+            1.0 - cluster_.pairingOf(s).byInstances[k - 1].actualQos;
+        final_min = any_final ? std::min(final_min, sd) : sd;
+        final_max = any_final ? std::max(final_max, sd) : sd;
+        any_final = true;
+    }
+    if (any_final) {
+        result.finalMaxSlowdown = final_max;
+        result.finalSlowdownSpread = final_max - final_min;
+    }
+
     result.final =
         cluster_.finish(name, qos_target, instances, down_servers);
     return result;

@@ -38,10 +38,17 @@
  *      — when a keyed `des.arrival_burst` load spike pushes a server
  *      past its knee (graceful degradation).
  *
+ * Under the fairness objective (OnlineConfig::objective) an extra
+ * pass between steps 4 and 5 trims one instance from every server
+ * whose observed slowdown exceeds the epoch's minimum by more than
+ * the spread tolerance — even when it still meets the QoS target —
+ * bounding max slowdown and slowdown spread at some utilization cost
+ * (see docs/SCHEDULING.md).
+ *
  * Convergence: per-server learned caps only shrink, and shrink
- * exactly when an observation contradicts the current count, so with
- * noise-free observations the placement converges to the oracle's
- * (largest k with actual QoS >= target) and stays there. Observation
+ * exactly when an observation contradicts the current count (a QoS
+ * violation, or a fairness trim under kFairness), so with noise-free
+ * observations the placement converges and stays put. Observation
  * noise can only make the caps conservative.
  *
  * Every step publishes `scheduler.online.*` counters/gauges through
@@ -97,6 +104,31 @@ struct LoadAwareConfig {
     std::vector<std::vector<double>> kneeByPairing;
 };
 
+/**
+ * What the evict/probe loop optimizes for.
+ *
+ * kUtilization is the paper's objective: pack every context whose
+ * co-location still meets the QoS target. kFairness adds the
+ * MISE-Fair-style criterion (Subramanian et al.): no co-located
+ * latency app should be slowed much more than the best-off one, so
+ * besides the target-violation evictions the loop also trims servers
+ * whose observed slowdown (1 - QoS) exceeds the epoch's minimum by
+ * more than `spreadTolerance` — trading utilization for a bounded
+ * max slowdown and slowdown spread.
+ */
+enum class Objective {
+    kUtilization,  ///< pack to the QoS target (default, the paper)
+    kFairness,     ///< additionally bound the slowdown spread
+};
+
+/** Name of a scheduling objective. */
+constexpr const char *
+objectiveName(Objective objective)
+{
+    return objective == Objective::kUtilization ? "utilization"
+                                                : "fairness";
+}
+
 /** Tuning knobs of the online policy. */
 struct OnlineConfig {
     /** Decision epochs to run (must be positive). */
@@ -113,6 +145,15 @@ struct OnlineConfig {
     double headroom = 0.02;
     /** Load-aware admission; inert unless loadAware.enabled. */
     LoadAwareConfig loadAware;
+    /** Optimization objective; kUtilization is byte-identical to the
+        pre-fairness scheduler. */
+    Objective objective = Objective::kUtilization;
+    /**
+     * Fairness only: max allowed excess of a server's observed
+     * slowdown over the epoch's minimum before one instance is
+     * trimmed (absolute slowdown, e.g. 0.05 = five QoS points).
+     */
+    double spreadTolerance = 0.05;
 };
 
 /** Telemetry of one OnlineScheduler decision epoch. */
@@ -134,6 +175,11 @@ struct EpochStats {
     int fillersShed = 0;       ///< filler instances shed this epoch
     int loadViolations = 0;    ///< guaranteed tiers past their knee
     double fillerInstances = 0;///< best-effort fillers at epoch end
+    // Fairness telemetry (recorded under either objective; the
+    // fairness objective is what *acts* on it):
+    int fairnessEvictions = 0; ///< instances trimmed for fairness
+    double maxSlowdown = 0;    ///< max observed slowdown this epoch
+    double slowdownSpread = 0; ///< max - min observed slowdown
 };
 
 /** Final placement plus the per-epoch trajectory that produced it. */
@@ -142,6 +188,10 @@ struct OnlineResult {
     PolicyResult final;
     /** One row per decision epoch, in order. */
     std::vector<EpochStats> timeline;
+    /** Max actual slowdown over the final placement's co-locations. */
+    double finalMaxSlowdown = 0.0;
+    /** Max - min actual slowdown over the final co-locations. */
+    double finalSlowdownSpread = 0.0;
 };
 
 /**

@@ -134,6 +134,11 @@ ShardedCluster::buildTabs(const TierPolicy &tiers)
 {
     tabs_.clear();
     const bool fillers = tiers.bestEffortFloor > 0.0;
+    // Guaranteed admission must clear the QoS target *and* the
+    // fairness slowdown budget; at the default budget of 1.0 the
+    // second threshold is 0 and the test collapses to the target.
+    const double admit_floor =
+        std::max(tiers.qosTarget, 1.0 - tiers.slowdownBudget);
     for (const MachineClass &mc : classes_) {
         for (const Pairing &p : mc.pairings) {
             PairTab t;
@@ -143,7 +148,7 @@ ShardedCluster::buildTabs(const TierPolicy &tiers)
             for (int k = 0; k < t.cap; ++k) {
                 t.admit[static_cast<std::size_t>(k)] =
                     p.byInstances[static_cast<std::size_t>(k)]
-                            .predictedQos >= tiers.qosTarget
+                            .predictedQos >= admit_floor
                         ? 1
                         : 0;
             }
@@ -455,6 +460,9 @@ ShardedCluster::runStream(const TierPolicy &tiers,
             throw std::invalid_argument(
                 "churn probabilities must be in [0, 1]");
     }
+    if (tiers.slowdownBudget < 0.0 || tiers.slowdownBudget > 1.0)
+        throw std::invalid_argument(
+            "slowdownBudget must be in [0, 1]");
 
     obs::Span span("scheduler.stream",
                    std::to_string(servers()) + " servers / " +
@@ -667,6 +675,32 @@ ShardedCluster::runStream(const TierPolicy &tiers,
     result.goodGuaranteed = total.goodGuaranteed;
     result.goodFillers = total.goodFillers;
     result.digest = stateDigest();
+
+    // Fairness of the final placement: one serial O(n) scan over the
+    // per-server state (extrema do not maintain incrementally under
+    // removal, and a single end-of-run pass keeps the epoch loop's
+    // integer-only determinism contract untouched).
+    {
+        double min_sd = 0.0, max_sd = 0.0;
+        bool any = false;
+        const std::size_t n = classIdx_.size();
+        for (std::size_t s = 0; s < n; ++s) {
+            if (up_[s] == 0 || g_[s] == 0)
+                continue;
+            const PairTab &tab = tabOf(s);
+            const double sd =
+                1.0 -
+                tab.src->byInstances[static_cast<std::size_t>(g_[s]) - 1]
+                    .actualQos;
+            min_sd = any ? std::min(min_sd, sd) : sd;
+            max_sd = any ? std::max(max_sd, sd) : sd;
+            any = true;
+        }
+        if (any) {
+            result.maxSlowdown = max_sd;
+            result.slowdownSpread = max_sd - min_sd;
+        }
+    }
 
     registry.counter("scheduler.shard.epochs")
         .add(static_cast<std::uint64_t>(epochs));

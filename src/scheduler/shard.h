@@ -105,6 +105,16 @@ struct TierPolicy {
      * the best-effort tier.
      */
     double bestEffortFloor = 0.0;
+    /**
+     * Fairness bound: max predicted slowdown (1 - predicted QoS) a
+     * guaranteed placement may inflict on its latency app, on top of
+     * the qosTarget admission test. The default 1.0 admits anything
+     * the target admits (byte-identical to the pre-fairness policy);
+     * tightening it below 1 - qosTarget trades utilization for a
+     * bounded worst-case slowdown across the fleet (the max-slowdown
+     * objective of docs/SCHEDULING.md).
+     */
+    double slowdownBudget = 1.0;
 };
 
 /** Churn knobs; all randomness is keyed per server (keyed.h). */
@@ -162,6 +172,11 @@ struct StreamResult {
 
     /** Order-independent fold over the final per-server state. */
     std::uint64_t digest = 0;
+
+    // Fairness of the final placement, from *actual* QoS over the
+    // co-located live servers (0 when none are co-located).
+    double maxSlowdown = 0.0;      ///< worst actual slowdown
+    double slowdownSpread = 0.0;   ///< worst minus best actual slowdown
 
     std::vector<StreamEpochStats> timeline;
 

@@ -396,7 +396,8 @@ SetAssocCache::Snapshot::bytes() const
     return tags.size() * sizeof(Addr) +
            lastUse.size() * sizeof(std::uint64_t) +
            dirty.size() + fillWays.size() +
-           touched.size() * sizeof(std::uint64_t);
+           // touched + everMaterialized bitmaps (same word count).
+           2 * touched.size() * sizeof(std::uint64_t);
 }
 
 std::shared_ptr<const SetAssocCache::Snapshot>
@@ -416,6 +417,10 @@ SetAssocCache::captureSnapshot() const
     const std::uint8_t fresh_fill =
         assoc_ < kNoPrefix ? std::uint8_t{0} : kNoPrefix;
     snap->touched.assign((numSets_ + 63) / 64, 0);
+    // Value-initialized: no set has been materialized by any adopter.
+    snap->everMaterialized =
+        std::make_unique<std::atomic<std::uint64_t>[]>((numSets_ + 63) /
+                                                       64);
     for (std::uint64_t set = 0; set < numSets_; ++set) {
         const std::size_t base = static_cast<std::size_t>(set) * assoc_;
         bool touched = fillWays_[set] != fresh_fill;
@@ -446,6 +451,7 @@ SetAssocCache::adoptSnapshot(std::shared_ptr<const Snapshot> snapshot)
     lastLine_ = snapshot_->lastLine;
     lastIdx_ = snapshot_->lastIdx;
     restoredBytes_ = 0;
+    firstTouchBytes_ = 0;
     if (lastLine_ != kNoTag)
         materializeSet(lastIdx_ / static_cast<std::size_t>(assoc_));
 }
@@ -464,7 +470,11 @@ SetAssocCache::materializeSet(std::uint64_t set)
     std::copy_n(snapshot_->lastUse.begin() + base, n,
                 lastUse_.begin() + base);
     std::copy_n(snapshot_->dirty.begin() + base, n, dirty_.begin() + base);
-    restoredBytes_ += n * (sizeof(Addr) + sizeof(std::uint64_t) + 1);
+    const std::uint64_t bytes =
+        n * (sizeof(Addr) + sizeof(std::uint64_t) + 1);
+    restoredBytes_ += bytes;
+    if (snapshot_->claimFirstTouch(set))
+        firstTouchBytes_ += bytes;
 }
 
 } // namespace smite::sim

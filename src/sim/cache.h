@@ -18,6 +18,7 @@
 #ifndef SMITE_SIM_CACHE_H
 #define SMITE_SIM_CACHE_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -111,6 +112,29 @@ class SetAssocCache
 
         /** Total heap bytes held by the image. */
         std::size_t bytes() const;
+
+        /**
+         * Claim set @p set's first materialization across *all*
+         * adopters of this image. snapshotRestoredBytes() sums every
+         * adoption's copies, so over N adopters it can legitimately
+         * exceed the image size; the first-touch claim is what makes
+         * the unique-bytes split (machine.snapshot.
+         * bytes_materialized_unique) a true subset of bytes_captured.
+         * Atomic because parallel labs adopt one image concurrently.
+         * @return true exactly once per set per image
+         */
+        bool
+        claimFirstTouch(std::uint64_t set) const
+        {
+            const std::uint64_t bit = std::uint64_t{1} << (set & 63);
+            return (everMaterialized[set >> 6].fetch_or(
+                        bit, std::memory_order_relaxed) &
+                    bit) == 0;
+        }
+
+        /** First-touch claims, one bit per set (64 sets per word). */
+        mutable std::unique_ptr<std::atomic<std::uint64_t>[]>
+            everMaterialized;
     };
 
     /** Capture the current state as a shared immutable snapshot. */
@@ -125,6 +149,17 @@ class SetAssocCache
 
     /** Bytes lazily materialized since the last adoptSnapshot(). */
     std::uint64_t snapshotRestoredBytes() const { return restoredBytes_; }
+
+    /**
+     * Subset of snapshotRestoredBytes() whose sets this adoption was
+     * the *first* (across all adopters of the image) to materialize.
+     * Summed over every adoption of one snapshot this never exceeds
+     * the image's captured bytes.
+     */
+    std::uint64_t snapshotFirstTouchBytes() const
+    {
+        return firstTouchBytes_;
+    }
 
     /**
      * Drop one line if present (back-invalidation from an inclusive
@@ -224,6 +259,7 @@ class SetAssocCache
     std::shared_ptr<const Snapshot> snapshot_;
     std::vector<std::uint64_t> snapPending_;
     std::uint64_t restoredBytes_ = 0;
+    std::uint64_t firstTouchBytes_ = 0;
 };
 
 } // namespace smite::sim

@@ -347,7 +347,10 @@ Machine::runLive(const std::vector<Placement> &placements, Cycle warmup,
     if (adopted) {
         static obs::Counter &restored = obs::Registry::global().counter(
             "machine.snapshot.bytes_restored");
+        static obs::Counter &unique = obs::Registry::global().counter(
+            "machine.snapshot.bytes_materialized_unique");
         restored.add(mem.l3SnapshotRestoredBytes());
+        unique.add(mem.l3SnapshotFirstTouchBytes());
     }
     return entry;
 }

@@ -112,6 +112,16 @@ class MemorySystem
         return l3_.snapshotRestoredBytes();
     }
 
+    /**
+     * Subset of l3SnapshotRestoredBytes() this run materialized first
+     * across all adopters of the image (SetAssocCache docs).
+     */
+    std::uint64_t
+    l3SnapshotFirstTouchBytes() const
+    {
+        return l3_.snapshotFirstTouchBytes();
+    }
+
     /** L1D hit latency (used to detect misses for MSHR occupancy). */
     Cycle l1dHitLatency() const { return config_.l1d.hitLatency; }
 

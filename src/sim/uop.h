@@ -177,7 +177,9 @@ class UopSource {
      * outcome is a pure function of (machine config, placement
      * coordinates, stream digests, interval bounds). That is exactly
      * the key the run-level replay store (sim/replay.h) memoizes on;
-     * sources returning 0 opt out of replay entirely.
+     * sources returning 0 opt out of replay entirely. Every production
+     * source (ruler, profile and trace-replay streams) overrides this;
+     * the zero default exists only for ad-hoc test doubles.
      */
     virtual std::uint64_t streamDigest() const { return 0; }
 };

@@ -1,5 +1,7 @@
 #include "workload/trace_file.h"
 
+#include "sim/digest.h"
+
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -38,6 +40,23 @@ TraceReplaySource::TraceReplaySource(std::vector<sim::Uop> uops)
 {
     if (uops_.empty())
         throw std::runtime_error("empty trace");
+    computeDigest();
+}
+
+void
+TraceReplaySource::computeDigest()
+{
+    sim::Digest digest;
+    digest.str("trace.replay").u64(uops_.size());
+    for (const sim::Uop &uop : uops_) {
+        digest.u64(static_cast<std::uint64_t>(uop.type))
+            .u64(uop.srcDist1)
+            .u64(uop.srcDist2)
+            .u64(uop.mispredict ? 1 : 0)
+            .u64(uop.addr)
+            .u64(uop.pc);
+    }
+    digest_ = digest.value();
 }
 
 TraceReplaySource::TraceReplaySource(const std::string &path)
@@ -74,6 +93,7 @@ TraceReplaySource::TraceReplaySource(const std::string &path)
     }
     if (uops_.empty())
         throw std::runtime_error("empty trace: " + path);
+    computeDigest();
 }
 
 sim::Uop

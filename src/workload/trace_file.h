@@ -50,12 +50,22 @@ class TraceReplaySource : public sim::UopSource
     sim::Uop next() override;
     void reset() override;
 
+    /**
+     * Contents-based FNV-1a identity: two replays of the same uop
+     * sequence share a digest no matter where the trace came from, so
+     * runs over them are eligible for the run-level `ReplayStore`.
+     */
+    std::uint64_t streamDigest() const override { return digest_; }
+
     /** Number of uops in one loop of the trace. */
     std::size_t traceLength() const { return uops_.size(); }
 
   private:
+    void computeDigest();
+
     std::vector<sim::Uop> uops_;
     std::size_t cursor_ = 0;
+    std::uint64_t digest_ = 0;
 };
 
 } // namespace smite::workload

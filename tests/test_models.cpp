@@ -6,8 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "core/pmu_model.h"
 #include "core/smite_model.h"
+#include "obs/incident.h"
 #include "workload/rng.h"
 
 namespace smite::core {
@@ -69,7 +74,10 @@ TEST(SmiteModel, RecoversSyntheticEquation3)
     double expected = c0;
     for (int d = 0; d < rulers::kNumDimensions; ++d)
         expected += truth[d] * a.sensitivity[d] * b.contentiousness[d];
-    EXPECT_NEAR(model.predict(a, b), expected, 1e-8);
+    // predict() guards its output into [0, 1] (degradation is a
+    // fraction); the synthetic world can exceed that.
+    EXPECT_NEAR(model.predict(a, b), std::clamp(expected, 0.0, 1.0),
+                1e-8);
 }
 
 TEST(SmiteModel, RequiresEnoughSamples)
@@ -103,7 +111,7 @@ TEST(PmuModel, RecoversSyntheticEquation9)
     const PmuModel model = PmuModel::train(samples, 0.0);
     PmuModel::Sample probe = samples.front();
     EXPECT_NEAR(model.predict(probe.victim, probe.aggressor),
-                probe.degradation, 1e-6);
+                std::clamp(probe.degradation, 0.0, 1.0), 1e-6);
 }
 
 TEST(PmuModel, FeatureLayoutIsVictimThenAggressor)
@@ -121,6 +129,83 @@ TEST(PmuModel, RequiresEnoughSamples)
 {
     std::vector<PmuModel::Sample> samples(2 * sim::kNumPmuRates);
     EXPECT_THROW(PmuModel::train(samples), std::invalid_argument);
+}
+
+TEST(SmiteModel, PredictionsAreClampedIntoUnitInterval)
+{
+    // A synthetic world with large positive coefficients: an extreme
+    // characterization pushes the raw affine prediction far past 1,
+    // and an all-zero one sits at the (positive) constant term. Flip
+    // the sign of the degradations and the raw prediction goes
+    // negative. Either way predict() must stay inside [0, 1].
+    workload::Rng rng(11);
+    std::vector<SmiteModel::Sample> pos, neg;
+    for (int i = 0; i < 60; ++i) {
+        SmiteModel::Sample s;
+        s.victim = randomCharacterization(rng);
+        s.aggressor = randomCharacterization(rng);
+        s.degradation = 0.5;
+        for (int d = 0; d < rulers::kNumDimensions; ++d) {
+            s.degradation += 2.0 * s.victim.sensitivity[d] *
+                             s.aggressor.contentiousness[d];
+        }
+        neg.push_back(s);
+        neg.back().degradation = -s.degradation;
+        pos.push_back(std::move(s));
+    }
+    Characterization extreme;
+    for (int d = 0; d < rulers::kNumDimensions; ++d) {
+        extreme.sensitivity[d] = 1.0;
+        extreme.contentiousness[d] = 1.0;
+    }
+
+    const SmiteModel high = SmiteModel::train(pos, 0.0);
+    EXPECT_EQ(high.predict(extreme, extreme), 1.0);
+    const SmiteModel low = SmiteModel::train(neg, 0.0);
+    EXPECT_EQ(low.predict(extreme, extreme), 0.0);
+}
+
+TEST(SmiteModel, NonFinitePredictionFallsBackToWorstCase)
+{
+    workload::Rng rng(13);
+    std::vector<SmiteModel::Sample> samples;
+    for (int i = 0; i < 40; ++i) {
+        SmiteModel::Sample s;
+        s.victim = randomCharacterization(rng);
+        s.aggressor = randomCharacterization(rng);
+        s.degradation = 0.1;
+        samples.push_back(std::move(s));
+    }
+    const SmiteModel model = SmiteModel::train(samples);
+
+    Characterization poisoned = randomCharacterization(rng);
+    poisoned.sensitivity[0] = std::numeric_limits<double>::quiet_NaN();
+    const std::size_t before = obs::IncidentLog::global().count();
+    EXPECT_EQ(model.predict(poisoned, randomCharacterization(rng)),
+              1.0);
+    EXPECT_GT(obs::IncidentLog::global().count(), before);
+}
+
+TEST(PmuModel, NonFinitePredictionFallsBackToWorstCase)
+{
+    workload::Rng rng(17);
+    std::vector<PmuModel::Sample> samples;
+    for (int i = 0; i < 60; ++i) {
+        PmuModel::Sample s;
+        s.degradation = 0.2;
+        for (int r = 0; r < sim::kNumPmuRates; ++r) {
+            s.victim[r] = rng.nextDouble();
+            s.aggressor[r] = rng.nextDouble();
+        }
+        samples.push_back(std::move(s));
+    }
+    const PmuModel model = PmuModel::train(samples);
+
+    PmuProfile victim = samples.front().victim;
+    victim[3] = std::numeric_limits<double>::infinity();
+    const std::size_t before = obs::IncidentLog::global().count();
+    EXPECT_EQ(model.predict(victim, samples.front().aggressor), 1.0);
+    EXPECT_GT(obs::IncidentLog::global().count(), before);
 }
 
 TEST(PmuRates, NamesMatchPaperList)

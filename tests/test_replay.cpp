@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "sim/cache.h"
@@ -26,6 +27,7 @@
 #include "workload/generator.h"
 #include "workload/rng.h"
 #include "workload/spec2006.h"
+#include "workload/trace_file.h"
 
 namespace smite::sim {
 namespace {
@@ -193,6 +195,78 @@ TEST(ReplayStore, DisabledPathTouchesNoStores)
     EXPECT_EQ(counter("machine.snapshot.misses"), snap_m0);
 }
 
+/**
+ * Trace replays carry a contents-based digest, so machine runs over
+ * them are replay-eligible like every other production source.
+ */
+TEST(ReplayStore, TraceReplaySourceHasStableDigest)
+{
+    std::vector<Uop> uops;
+    workload::Rng rng(0x7712ull);
+    for (int i = 0; i < 64; ++i) {
+        Uop u;
+        u.type = static_cast<UopType>(
+            rng.nextU64() % static_cast<std::uint64_t>(
+                                UopType::kNumTypes));
+        u.srcDist1 = static_cast<int>(rng.nextU64() % 8);
+        u.addr = rng.nextU64() % 4096;
+        u.pc = 64 * i;
+        uops.push_back(u);
+    }
+
+    const workload::TraceReplaySource a(uops);
+    EXPECT_NE(a.streamDigest(), 0u);
+    // Same contents, distinct object: same digest.
+    const workload::TraceReplaySource b(uops);
+    EXPECT_EQ(a.streamDigest(), b.streamDigest());
+    // Any content mutation must move the digest.
+    auto mutated = uops;
+    mutated[10].addr ^= 1;
+    const workload::TraceReplaySource c(std::move(mutated));
+    EXPECT_NE(a.streamDigest(), c.streamDigest());
+
+    // And the machine keys on it: a repeated run over a fresh source
+    // with the same contents is a store hit, byte-identically.
+    ReplayGuard guard(true);
+    const Machine machine(MachineConfig::ivyBridge());
+    const auto run_trace = [&] {
+        workload::TraceReplaySource src(uops);
+        // Warmup distinct from every other test in this binary keeps
+        // the key's first sighting here.
+        return machine.runSolo(src, 2'029, 3'100);
+    };
+    const std::uint64_t hits0 = counter("machine.replay.hits");
+    const auto first = run_trace();
+    const auto second = run_trace();
+    EXPECT_EQ(counter("machine.replay.hits"), hits0 + 1);
+    EXPECT_EQ(flatten(first), flatten(second));
+}
+
+/**
+ * The run-level store is process-wide: a second Lab with the same
+ * configuration and intervals replays the first Lab's runs instead of
+ * re-simulating (the fig10 replay-audit phase relies on exactly
+ * this), and the results agree bit for bit.
+ */
+TEST(ReplayStore, CrossLabRunsReplay)
+{
+    ReplayGuard guard(true);
+    const auto &a = workload::spec2006::byName("456.hmmer");
+    const auto &b = workload::spec2006::byName("470.lbm");
+
+    core::Lab first(MachineConfig::ivyBridge(), 2'039, 3'300);
+    const double d1 =
+        first.pairDegradation(a, b, core::CoLocationMode::kSmt);
+
+    const std::uint64_t hits0 = counter("machine.replay.hits");
+    core::Lab second(MachineConfig::ivyBridge(), 2'039, 3'300);
+    const double d2 =
+        second.pairDegradation(a, b, core::CoLocationMode::kSmt);
+    // One solo run + one pair run, both replayed.
+    EXPECT_GE(counter("machine.replay.hits"), hits0 + 2);
+    EXPECT_EQ(d1, d2);
+}
+
 /** Reference-ticking runs bypass the stores entirely. */
 TEST(ReplayStore, ReferenceTickingBypasses)
 {
@@ -290,6 +364,49 @@ TEST(SnapshotRoundTrip, AdoptedArrayMatchesOriginal)
             ASSERT_EQ(a.hit, b.hit) << "post-flush op " << i;
         }
     }
+}
+
+/**
+ * Restored-byte accounting is per adoption and can legitimately
+ * exceed the image size when many arrays adopt one snapshot; the
+ * first-touch (unique) count must not. First adopter: every
+ * materialized set is a first touch. Second adopter of the same
+ * image: restores the same sets again, zero new unique bytes.
+ */
+TEST(SnapshotRoundTrip, UniqueMaterializationIsFirstTouchOnly)
+{
+    const CacheConfig config{"snapu", 64 * 1024, 8, 30};
+    SetAssocCache original(config);
+    const std::uint64_t span = 2 * config.sizeBytes / kLineBytes;
+    workload::Rng rng(0xBEEF'77ull);
+    for (int i = 0; i < 20'000; ++i)
+        original.access(rng.nextU64() % span, (rng.nextU64() & 1));
+
+    const auto snap = original.captureSnapshot();
+    ASSERT_NE(snap, nullptr);
+
+    SetAssocCache first(config);
+    first.adoptSnapshot(snap);
+    for (Addr line = 0; line < span; ++line)
+        first.access(line, false);
+    EXPECT_GT(first.snapshotFirstTouchBytes(), 0u);
+    EXPECT_EQ(first.snapshotFirstTouchBytes(),
+              first.snapshotRestoredBytes());
+    EXPECT_LE(first.snapshotFirstTouchBytes(), snap->bytes());
+
+    SetAssocCache second(config);
+    second.adoptSnapshot(snap);
+    for (Addr line = 0; line < span; ++line)
+        second.access(line, false);
+    EXPECT_EQ(second.snapshotRestoredBytes(),
+              first.snapshotRestoredBytes());
+    EXPECT_EQ(second.snapshotFirstTouchBytes(), 0u);
+
+    // The machine-level mirror of the same invariant: cumulative
+    // unique bytes never exceed cumulative captured bytes (restored
+    // bytes can, which is why the two counters are split).
+    EXPECT_LE(counter("machine.snapshot.bytes_materialized_unique"),
+              counter("machine.snapshot.bytes_captured"));
 }
 
 // ===================================================================

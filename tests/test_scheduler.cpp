@@ -263,5 +263,76 @@ TEST(OnlineScheduler, ProbeBudgetBoundsPerEpochRisk)
         EXPECT_LE(e.probes, 7);
 }
 
+/** Two latency apps whose slowdown-per-instance rates differ: the
+    raw material for a slowdown spread the fairness objective can act
+    on (app "a" at 2%/instance, app "b" at 6%/instance). */
+Cluster
+unevenCluster(int servers = 100)
+{
+    return Cluster({linearPairing("a", "batch", 0.02, 0.02),
+                    linearPairing("b", "batch", 0.06, 0.06)},
+                   {"a", "b"}, servers);
+}
+
+TEST(OnlineScheduler, RejectsNegativeSpreadTolerance)
+{
+    const Cluster cluster = simpleCluster(0.02, 0.02, 10);
+    EXPECT_THROW(
+        OnlineScheduler(cluster,
+                        OnlineConfig{.spreadTolerance = -0.01}),
+        std::invalid_argument);
+}
+
+TEST(OnlineScheduler, FairnessObjectiveBoundsMaxSlowdown)
+{
+    // Utilization objective: app "a" packs to QoS 0.90 (slowdown
+    // 0.10), app "b" stops at one instance (slowdown 0.06) — spread
+    // 0.04. The fairness objective with a 2-point tolerance trims
+    // the "a" servers until their slowdown is within tolerance of
+    // the best-off app, cutting max slowdown at a utilization cost.
+    const Cluster cluster = unevenCluster();
+    const OnlineScheduler util(cluster, OnlineConfig{.epochs = 12});
+    const OnlineScheduler fair(
+        cluster, OnlineConfig{.epochs = 12,
+                              .objective = Objective::kFairness,
+                              .spreadTolerance = 0.02});
+
+    const auto u = util.run(0.90);
+    const auto f = fair.run(0.90);
+
+    EXPECT_LT(f.finalMaxSlowdown, u.finalMaxSlowdown);
+    EXPECT_LE(f.finalSlowdownSpread, 0.02 + 1e-12);
+    EXPECT_LT(f.final.totalInstances, u.final.totalInstances);
+
+    int util_trims = 0, fair_trims = 0;
+    for (const EpochStats &e : u.timeline)
+        util_trims += e.fairnessEvictions;
+    for (const EpochStats &e : f.timeline)
+        fair_trims += e.fairnessEvictions;
+    EXPECT_EQ(util_trims, 0);
+    EXPECT_GT(fair_trims, 0);
+
+    // Slowdown telemetry is recorded under either objective.
+    EXPECT_GT(u.timeline.back().maxSlowdown, 0.0);
+    EXPECT_GT(u.timeline.back().slowdownSpread, 0.0);
+}
+
+TEST(OnlineScheduler, UtilizationObjectiveMatchesDefault)
+{
+    // Selecting kUtilization explicitly is the pre-fairness
+    // scheduler: identical placement, no trims.
+    const Cluster cluster = unevenCluster(60);
+    const OnlineScheduler a(cluster, OnlineConfig{.epochs = 8});
+    const OnlineScheduler b(
+        cluster, OnlineConfig{.epochs = 8,
+                              .objective = Objective::kUtilization});
+    const auto ra = a.run(0.90);
+    const auto rb = b.run(0.90);
+    EXPECT_EQ(ra.final.totalInstances, rb.final.totalInstances);
+    EXPECT_EQ(ra.final.violatedServers, rb.final.violatedServers);
+    EXPECT_EQ(ra.finalMaxSlowdown, rb.finalMaxSlowdown);
+    EXPECT_EQ(ra.finalSlowdownSpread, rb.finalSlowdownSpread);
+}
+
 } // namespace
 } // namespace smite::scheduler

@@ -346,5 +346,48 @@ TEST(ShardedCluster, TimelineAndTotalsAreInternallyConsistent)
     EXPECT_DOUBLE_EQ(last.goodputUtilization, r.goodputUtilization());
 }
 
+TEST(ShardedCluster, SlowdownBudgetBoundsMaxSlowdown)
+{
+    // Tables with actual == predicted QoS, slopes 2%..4% per
+    // instance. The default budget (1.0) admits anything the 0.90
+    // target admits, so the worst co-location sits at 10% slowdown;
+    // tightening the budget to 6% raises the admission floor to QoS
+    // 0.94 and the final max slowdown must respect it.
+    const std::vector<MachineClass> classes = {
+        uniformClass("m", 6, 12, 3)};
+    const ChurnConfig churn = testChurn();
+
+    ShardedCluster loose(classes, {400}, 4);
+    const StreamResult r_loose =
+        loose.runStream({0.90, 0.0, 1.0}, churn, 30);
+    ShardedCluster tight(classes, {400}, 4);
+    const StreamResult r_tight =
+        tight.runStream({0.90, 0.0, 0.06}, churn, 30);
+
+    ASSERT_GT(r_loose.coLocatedServers, 0);
+    ASSERT_GT(r_tight.coLocatedServers, 0);
+    EXPECT_GT(r_loose.maxSlowdown, 0.06);
+    EXPECT_LE(r_tight.maxSlowdown, 0.06 + 1e-12);
+    EXPECT_LT(r_tight.maxSlowdown, r_loose.maxSlowdown);
+    EXPECT_LE(r_tight.slowdownSpread, r_tight.maxSlowdown);
+    // Bounding the worst slowdown costs packed capacity.
+    EXPECT_LT(r_tight.guaranteedInstances,
+              r_loose.guaranteedInstances);
+
+    // The default budget is the pre-fairness policy, byte for byte.
+    ShardedCluster defaulted(classes, {400}, 4);
+    const StreamResult r_default =
+        defaulted.runStream({0.90, 0.0}, churn, 30);
+    EXPECT_TRUE(sameRun(r_default, r_loose));
+    EXPECT_EQ(r_default.maxSlowdown, r_loose.maxSlowdown);
+
+    // And an out-of-range budget is rejected up front.
+    ShardedCluster bad(classes, {400}, 4);
+    EXPECT_THROW(bad.runStream({0.90, 0.0, 1.5}, churn, 8),
+                 std::invalid_argument);
+    EXPECT_THROW(bad.runStream({0.90, 0.0, -0.1}, churn, 8),
+                 std::invalid_argument);
+}
+
 } // namespace
 } // namespace smite::scheduler

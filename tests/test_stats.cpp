@@ -196,5 +196,29 @@ TEST(Summary, RobustMedianKeepsCleanSamplesIntact)
     EXPECT_DOUBLE_EQ(robustMedian(xs), median(xs));
 }
 
+TEST(Summary, RobustMedianEvenSizedSamples)
+{
+    // Even count: the median interpolates between the middle pair,
+    // and the MAD cutoff is taken around that interpolated value.
+    const std::vector<double> clean{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(robustMedian(clean), median(clean));
+
+    // Even count with one wild outlier: the outlier is rejected and
+    // the result is the median of the three survivors.
+    const std::vector<double> dirty{1.00, 1.02, 0.98, 80.0};
+    EXPECT_DOUBLE_EQ(robustMedian(dirty), 1.0);
+}
+
+TEST(Summary, RobustMedianZeroMadWithOutlierPresent)
+{
+    // A majority of identical values pins the MAD at zero even though
+    // an outlier is present; the early-out must return the (clean)
+    // median rather than divide the cutoff by zero.
+    EXPECT_DOUBLE_EQ(robustMedian({2.0, 2.0, 2.0, 2.0, 100.0}), 2.0);
+    // All-equal even-sized sample: interpolated median, MAD zero.
+    EXPECT_DOUBLE_EQ(robustMedian({7.0, 7.0, 7.0, 7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(median({7.0, 7.0, 7.0, 7.0}), 7.0);
+}
+
 } // namespace
 } // namespace smite::stats
